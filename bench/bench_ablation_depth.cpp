@@ -1,0 +1,78 @@
+// Ablation (DESIGN.md §3): how the Select() depth — how far into the model
+// the shield reaches — trades enclave memory against robustness, per
+// frontier family. Quantifies the paper's §V-C remark that CNNs would need
+// "larger parts of the model ... included in the enclave" to blunt the
+// upsampling attacker.
+#include "attacks/runner.h"
+#include "bench/common.h"
+#include "core/table.h"
+#include "shield/policy.h"
+
+int main() {
+  using namespace pelta;
+  const bench::scale s;
+  s.print("Ablation — shield depth vs enclave memory vs robustness");
+
+  const data::dataset ds = bench::make_scaled_dataset("cifar10_like", s);
+  const attacks::suite_params params = attacks::params_for_dataset("cifar10_like");
+
+  bool memory_monotone = true;
+  bool shield_beats_clear = true;
+  for (const char* name : {"ViT-B/16", "BiT-M-R101x3"}) {
+    auto m = bench::train_zoo_model(name, ds, s);
+    const tensor probe = ds.test_image(0);
+    shape_t batched{1, probe.size(0), probe.size(1), probe.size(2)};
+
+    // Baselines for this model.
+    const attacks::robust_eval clear = attacks::evaluate_attack(
+        *m, ds, attacks::attack_kind::pgd, params, attacks::clear_oracle_factory(*m), s.samples,
+        s.seed);
+    const attacks::robust_eval paper_frontier = attacks::evaluate_attack(
+        *m, ds, attacks::attack_kind::pgd, params, attacks::shielded_oracle_factory(*m),
+        s.samples, s.seed);
+    const attacks::robust_eval rand =
+        attacks::evaluate_random_uniform(*m, ds, params.eps, s.samples, s.seed);
+
+    text_table t;
+    t.set_header({"Select depth", "frontier node", "enclave bytes", "PGD robust acc"});
+    t.add_row({"0 (no shield)", "-", "0 B", pct(clear.robust_accuracy)});
+    std::int64_t prev = -1;
+    for (std::int64_t depth : {1, 2, 3, 5, 8}) {
+      // Memory at this depth.
+      models::forward_pass fp = m->forward(probe.reshape(batched), ad::norm_mode::eval);
+      std::vector<ad::node_id> frontier;
+      try {
+        frontier = shield::select_first_k_transforms(fp.graph, depth);
+      } catch (const error&) {
+        break;
+      }
+      const shield::shield_report r = shield::pelta_shield(fp.graph, frontier, nullptr);
+      memory_monotone = memory_monotone && r.total_bytes() >= prev;
+      prev = r.total_bytes();
+
+      // Robustness with the shield stopping exactly at this depth.
+      const models::model* mp = m.get();
+      const attacks::oracle_factory factory = [mp, depth](std::uint64_t seed) {
+        return attacks::make_shielded_oracle_depth(*mp, depth, seed);
+      };
+      const attacks::robust_eval at_depth = attacks::evaluate_attack(
+          *m, ds, attacks::attack_kind::pgd, params, factory, s.samples, s.seed);
+      shield_beats_clear =
+          shield_beats_clear && at_depth.robust_accuracy >= clear.robust_accuracy;
+
+      t.add_row({std::to_string(depth), fp.graph.at(frontier[0]).tag,
+                 human_bytes(r.total_bytes()), pct(at_depth.robust_accuracy)});
+    }
+    t.add_separator();
+    t.add_row({"paper frontier", m->shield_frontier_tags()[0], "-",
+               pct(paper_frontier.robust_accuracy)});
+    t.add_row({"random-noise yardstick", "-", "-", pct(rand.robust_accuracy)});
+    std::printf("%s:\n%s\n", name, t.to_string().c_str());
+  }
+
+  const bool holds = memory_monotone && shield_beats_clear;
+  std::printf("paper-shape check (memory grows with depth; any shield depth >= clear-box "
+              "robustness): %s\n",
+              holds ? "HOLDS" : "VIOLATED");
+  return holds ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Extension bench (§IV-C / §VII): what does a *resourceful* attacker buy
+// against PELTA, and what do related-work shields buy against evasion?
+//
+// Four attacker tiers against the same defended model, PGD throughout:
+//   1. open white box            — no defense (upper bound for the attacker)
+//   2. param-gradient shield     — DarkneTZ/PPFL/GradSec policy (§II):
+//                                  protects inversion, not evasion
+//   3. PELTA + upsampling        — the paper's attacker (no priors,
+//                                  random-kernel BPDA)
+//   4. PELTA + trained surrogate — Athalye et al.'s full BPDA: the attacker
+//                                  distills its own copy from the visible
+//                                  logits and transfers the attack
+//
+// Expected shape: (1) ≈ (2)  <<  (4)  <  (3) in robust accuracy — the
+// related-work policy does not mitigate evasion; the trained surrogate
+// recovers much of the attack at the cost of a full training run (the
+// paper's "training resources equivalent to that of the FL system").
+#include "attacks/bpda.h"
+#include "bench/common.h"
+#include "core/table.h"
+
+int main() {
+  using namespace pelta;
+  const bench::scale s;
+  s.print("Extension — BPDA surrogate & related-work shield comparison");
+
+  const data::dataset ds = bench::make_scaled_dataset("cifar10_like", s);
+  const attacks::suite_params params = attacks::params_for_dataset("cifar10_like");
+
+  bool all_hold = true;
+  for (const char* name : {"ViT-B/16", "BiT-M-R101x3"}) {
+    auto victim = bench::train_zoo_model(name, ds, s);
+    const models::model* vp = victim.get();
+
+    // Tier 2 oracle factory.
+    const attacks::oracle_factory pg_factory = [vp](std::uint64_t) {
+      return attacks::make_param_shield_oracle(*vp);
+    };
+
+    // Tier 4: distill the surrogate (attacker pays a training run).
+    attacks::surrogate_config sc;
+    sc.architecture = name;
+    sc.epochs = s.epochs;
+    sc.shards = s.shards;
+    sc.seed = s.seed + 4242;  // attacker's own initialization — no priors
+    const attacks::surrogate_result sr = attacks::train_surrogate(*victim, ds, sc);
+
+    const attacks::robust_eval open = attacks::evaluate_attack(
+        *victim, ds, attacks::attack_kind::pgd, params, attacks::clear_oracle_factory(*victim),
+        s.samples, s.seed);
+    const attacks::robust_eval param_shield = attacks::evaluate_attack(
+        *victim, ds, attacks::attack_kind::pgd, params, pg_factory, s.samples, s.seed);
+    const attacks::robust_eval pelta_upsample = attacks::evaluate_attack(
+        *victim, ds, attacks::attack_kind::pgd, params,
+        attacks::shielded_oracle_factory(*victim), s.samples, s.seed);
+    const attacks::robust_eval pelta_surrogate =
+        attacks::evaluate_transfer_attack(*victim, *sr.surrogate, ds, params, s.samples, s.seed);
+
+    text_table t;
+    t.set_header({"Attacker tier", "Robust accuracy", "Attacker cost"});
+    t.add_row({"open white box", pct(open.robust_accuracy), "-"});
+    t.add_row({"param-gradient shield (GradSec-style)", pct(param_shield.robust_accuracy), "-"});
+    t.add_row({"PELTA + upsampling (paper attacker)", pct(pelta_upsample.robust_accuracy),
+               "random kernel only"});
+    t.add_row({"PELTA + trained surrogate (full BPDA)", pct(pelta_surrogate.robust_accuracy),
+               std::to_string(sr.label_queries) + " label queries + full training (agreement " +
+                   pct(sr.agreement) + ")"});
+    std::printf("%s:\n%s\n", name, t.to_string().c_str());
+
+    // The full-BPDA claim (Athalye et al.) presumes the attacker's
+    // approximation is *good*: a surrogate that disagrees with the victim
+    // on >10% of inputs transfers poorly and can undershoot even the
+    // random upsampler. So the "BPDA bites back" leg is only asserted when
+    // distillation succeeded; otherwise the bench reports the under-fit.
+    const bool distilled = sr.agreement >= 0.9f;
+    if (!distilled)
+      std::printf("  note: surrogate under-fit (agreement %s) — raise PELTA_EPOCHS/"
+                  "PELTA_TRAIN_PER_CLASS for the full BPDA effect\n",
+                  pct(sr.agreement).c_str());
+    const bool holds =
+        param_shield.robust_accuracy <= open.robust_accuracy + 0.1f &&   // no evasion help
+        pelta_upsample.robust_accuracy > open.robust_accuracy + 0.3f &&  // PELTA works
+        (!distilled ||
+         pelta_surrogate.robust_accuracy < pelta_upsample.robust_accuracy);  // BPDA bites back
+    std::printf("shape check for %s: %s\n\n", name, holds ? "HOLDS" : "VIOLATED");
+    all_hold = all_hold && holds;
+  }
+
+  std::printf("Reading: PELTA's security is operational, not information-theoretic —\n"
+              "exactly the paper's §IV-C framing. The attacker without priors is\n"
+              "blocked; an attacker who re-trains the federation's model locally is\n"
+              "not, but has left the cheap-evasion threat model entirely.\n");
+  return all_hold ? 0 : 1;
+}

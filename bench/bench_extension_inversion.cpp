@@ -1,0 +1,100 @@
+// Extension bench (§II related work, quantified): the defense matrix.
+//
+// DarkneTZ / PPFL / GradSec shield ∇θL against *inversion* (parameter
+// gradients leak private training data); PELTA shields ∇ₓL against
+// *evasion*. The paper contrasts the two in prose — this bench puts
+// numbers on the full matrix using the §III plain DNN, whose affine first
+// layer admits an exact analytic inversion (∇W₁ = xᵀδ, ∇b₁ = δ):
+//
+//                       inversion quality     evasion success (PGD)
+//   no shield                 ≈ 1                    ≈ 1
+//   param-gradient shield     0 (blocked)            ≈ 1   <- §II's point
+//   PELTA                     0 (frontier covers     ≈ 0   <- the paper's
+//                              the first layer)             contribution
+//
+// The lower-left zero is an observation the paper only hints at: PELTA's
+// frontier necessarily contains the first layer's parameters, which are
+// exactly the analytically-invertible ones — so the two defense families
+// overlap at the strongest leak even though their goals differ.
+#include "attacks/inversion.h"
+#include "bench/common.h"
+#include "core/table.h"
+#include "models/trainer.h"
+
+int main() {
+  using namespace pelta;
+  const bench::scale s;
+  s.print("Extension — §II defense matrix (inversion vs evasion)");
+
+  const data::dataset ds = bench::make_scaled_dataset("cifar10_like", s);
+
+  models::mlp_config mc;
+  mc.name = "DNN (3-layer MLP, §III)";
+  mc.image_size = ds.config().image_size;
+  mc.channels = ds.config().channels;
+  mc.hidden = {64, 32};
+  mc.classes = ds.config().classes;
+  mc.seed = s.seed;
+  models::mlp_model mlp{mc};
+  models::train_config tc;
+  tc.epochs = 4 * s.epochs;  // the raw-pixel MLP needs more passes than the ViT
+  tc.batch_size = 16;
+  tc.lr = 3e-3f;
+  tc.seed = s.seed + 1;
+  tc.shards = s.shards;
+  const models::train_report tr = models::train_model(mlp, ds, tc);
+  std::printf("  trained %s: clean=%5.1f%%\n\n", mlp.name().c_str(), 100.0 * tr.test_accuracy);
+
+  const attacks::suite_params params = attacks::params_for_dataset("cifar10_like");
+  const std::int64_t inv_samples = std::min<std::int64_t>(s.samples, ds.test_size());
+
+  struct row {
+    attacks::observation_policy policy;
+    attacks::oracle_factory factory;
+  };
+  const models::mlp_model* mp = &mlp;
+  const row rows[] = {
+      {attacks::observation_policy::clear, attacks::clear_oracle_factory(mlp)},
+      {attacks::observation_policy::param_gradient,
+       [mp](std::uint64_t) { return attacks::make_param_shield_oracle(*mp); }},
+      {attacks::observation_policy::pelta, attacks::shielded_oracle_factory(mlp)},
+  };
+
+  text_table t;
+  t.set_header({"Observation policy", "Inversion quality (cosine)", "PGD attack success",
+                "Robust accuracy"});
+  float inv_clear = 0.0f, inv_gradsec = 1.0f, inv_pelta = 1.0f;
+  float rob_clear = 1.0f, rob_gradsec = 1.0f, rob_pelta = 0.0f;
+  for (const row& r : rows) {
+    const float quality = attacks::inversion_quality(mlp, ds, r.policy, inv_samples);
+    const attacks::robust_eval ev = attacks::evaluate_attack(
+        mlp, ds, attacks::attack_kind::pgd, params, r.factory, s.samples, s.seed);
+    t.add_row({attacks::observation_policy_name(r.policy), fixed(quality, 3),
+               pct(1.0f - ev.robust_accuracy), pct(ev.robust_accuracy)});
+    switch (r.policy) {
+      case attacks::observation_policy::clear:
+        inv_clear = quality;
+        rob_clear = ev.robust_accuracy;
+        break;
+      case attacks::observation_policy::param_gradient:
+        inv_gradsec = quality;
+        rob_gradsec = ev.robust_accuracy;
+        break;
+      case attacks::observation_policy::pelta:
+        inv_pelta = quality;
+        rob_pelta = ev.robust_accuracy;
+        break;
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  const bool holds = inv_clear > 0.8f && inv_gradsec == 0.0f && inv_pelta == 0.0f &&
+                     rob_clear < 0.2f && rob_gradsec < rob_clear + 0.15f && rob_pelta > 0.6f;
+  std::printf("\npaper-shape check (matrix corners as §II describes): %s\n",
+              holds ? "HOLDS" : "VIOLATED");
+  std::printf("\nReading: the related-work shields and PELTA protect different\n"
+              "gradients. A deployment that fears both inversion and evasion needs\n"
+              "the union of the two masked sets — which PELTA's frontier already\n"
+              "gives for the single most invertible layer, the first one.\n");
+  return holds ? 0 : 1;
+}

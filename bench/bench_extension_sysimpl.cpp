@@ -1,0 +1,113 @@
+// Extension bench (§VI System Implications, quantified): the two
+// deployment stages the paper discusses, measured against platform cost
+// profiles and the update-pull-frequency knob.
+//
+// Part 1 — inference stage. One shielded forward/backward pass moves the
+// masked frontier tensors into the enclave; the traffic is recorded once
+// and projected per platform: TrustZone (SMC ≈ 4 µs), classic SGX
+// (ecall ≈ 10 µs), SGX+HotCalls (switchless ≈ 0.6 µs). Expected shape:
+// HotCalls removes the switch term and the per-byte marshalling dominates;
+// the paper's "microseconds up to milliseconds at most" envelope holds
+// everywhere.
+//
+// Part 2 — training stage. Frontier gradients accumulate inside the
+// enclave; the FL client pulls the averaged update every k batches (§VI:
+// "the frequency at which the weight updates are pulled out of the enclave
+// could be lowered"). Expected shape: boundary bytes fall as 1/k while the
+// model staleness the defender accepts grows — the tuning trade-off the
+// paper describes.
+#include "attacks/oracle.h"
+#include "bench/common.h"
+#include "core/table.h"
+#include "shield/shield.h"
+#include "tee/profiles.h"
+#include "tee/update_channel.h"
+
+int main() {
+  using namespace pelta;
+  const bench::scale s;
+  s.print("Extension — §VI system implications across TEE platforms");
+
+  const data::dataset ds = bench::make_scaled_dataset("cifar10_like", s);
+  models::task_spec task;
+  task.image_size = ds.config().image_size;
+  task.channels = ds.config().channels;
+  task.classes = ds.config().classes;
+  task.seed = s.seed;
+  auto model = models::make_model("ViT-B/16", task);  // no training needed: traffic only
+
+  // ---- Part 1: one shielded inference, traffic recorded then projected ----------
+  tee::enclave probe{tee::enclave::k_default_capacity};
+  {
+    auto oracle = attacks::make_shielded_oracle(*model, s.seed, &probe);
+    (void)oracle->query(ds.test_image(0), ds.test_label(0));
+  }
+  const tee::tee_stats t = probe.statistics();
+
+  text_table t1;
+  t1.set_header({"Platform", "Switches/pass", "KB across boundary", "Modeled cost/pass"});
+  double tz_cost = 0.0, sgx_cost = 0.0, hot_cost = 0.0;
+  for (const tee::tee_profile_kind kind : tee::all_profiles()) {
+    const tee::tee_profile p = tee::profile(kind);
+    const auto bytes = static_cast<double>(t.bytes_in);
+    const bool switchless = kind == tee::tee_profile_kind::sgx_hotcalls;
+    // ecall-style: two switches per store; switchless: one hotcall handoff.
+    const double per_op = switchless ? p.costs.hotcall_ns : 2.0 * p.costs.world_switch_ns;
+    const double cost_ns = static_cast<double>(t.stores) * per_op + bytes * p.costs.per_byte_ns;
+    t1.add_row({p.name,
+                switchless ? "0 (polled slot)" : std::to_string(2 * t.stores),
+                fixed(bytes / 1024.0, 1), fixed(cost_ns / 1e6, 3) + " ms"});
+    if (kind == tee::tee_profile_kind::trustzone_optee) tz_cost = cost_ns;
+    if (kind == tee::tee_profile_kind::sgx_classic) sgx_cost = cost_ns;
+    if (kind == tee::tee_profile_kind::sgx_hotcalls) hot_cost = cost_ns;
+  }
+  std::printf("Part 1 — shielded inference traffic of %s (%lld masked stores):\n%s",
+              model->name().c_str(), static_cast<long long>(t.stores), t1.to_string().c_str());
+  const bool p1_holds = hot_cost < sgx_cost && tz_cost < sgx_cost && sgx_cost < 5e6;
+  std::printf("shape check (HotCalls < classic SGX; all within the paper's ms envelope): %s\n\n",
+              p1_holds ? "HOLDS" : "VIOLATED");
+
+  // ---- Part 2: training stage, pull-period sweep ---------------------------------
+  // Frontier gradient volume per batch from a dry shield run.
+  models::forward_pass fp = model->forward(
+      ds.test_image(0).reshape({1, task.channels, task.image_size, task.image_size}),
+      ad::norm_mode::eval);
+  const shield::shield_report report =
+      shield::pelta_shield_tags(fp.graph, model->shield_frontier_tags(), nullptr);
+  // Frontier gradients are adjoint-shaped, i.e. the same volume as the
+  // masked activations (the dry run above records no adjoints to measure).
+  const std::int64_t grad_bytes = std::max<std::int64_t>(4, report.bytes_activations);
+  const std::int64_t grad_floats = grad_bytes / 4;
+
+  const std::int64_t batches_per_round = 24;
+  text_table t2;
+  t2.set_header({"Pull period k", "Pulls/round", "MB out/round", "Modeled ms/round",
+                 "Update staleness"});
+  std::int64_t bytes_k1 = 0, bytes_k8 = 0;
+  for (const std::int64_t k : {1, 2, 4, 8, 16}) {
+    tee::enclave e = tee::make_enclave(tee::tee_profile_kind::trustzone_optee);
+    tee::secure_update_channel ch{e, k};
+    for (std::int64_t b = 0; b < batches_per_round; ++b) {
+      ch.push_batch({tensor::zeros({grad_floats})});
+      if (ch.ready()) (void)ch.pull();
+    }
+    if (ch.pending_batches() > 0) (void)ch.pull();
+    t2.add_row({std::to_string(k), std::to_string(ch.pulls()),
+                fixed(static_cast<double>(ch.bytes_pulled()) / (1024.0 * 1024.0), 3),
+                fixed(e.statistics().simulated_ns / 1e6, 2),
+                std::to_string(k) + " batch(es)"});
+    if (k == 1) bytes_k1 = ch.bytes_pulled();
+    if (k == 8) bytes_k8 = ch.bytes_pulled();
+  }
+  std::printf("Part 2 — §VI training stage, %lld batches/round, frontier grads %.1f KB/batch:\n%s",
+              static_cast<long long>(batches_per_round),
+              static_cast<double>(grad_bytes) / 1024.0, t2.to_string().c_str());
+  const bool p2_holds = bytes_k8 * 7 <= bytes_k1;  // ~1/8, up to the end-of-round flush
+  std::printf("shape check (boundary bytes fall ~1/k): %s\n", p2_holds ? "HOLDS" : "VIOLATED");
+
+  std::printf("\nReading: the §VI overheads are real but tunable — switchless calls\n"
+              "remove the per-operation switch cost at inference, and a lower pull\n"
+              "frequency amortizes the training-stage bandwidth, at the price of\n"
+              "averaging the hidden gradients over larger windows.\n");
+  return p1_holds && p2_holds ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Extension bench: the adversarial-transfer matrix the ensemble defense
+// rests on (§V-A2, refs [43], [44]).
+//
+// "Generally, when dealing with the image classification task, adversarial
+// examples do not transfer well between attention based and CNN based
+// models" — that is the entire premise of the paper's random-selection
+// ensemble (and of Table IV's ≈50 % one-member-shielded signature). This
+// bench validates that our simulator actually reproduces the effect
+// instead of assuming it: PGD examples are crafted white-box on an
+// attacker model (rows) and replayed on a victim (columns), for two
+// transformer-family and two CNN-family defenders.
+//
+// Expected shape: the diagonal (white box) collapses to ≈0 % robust
+// accuracy, and cross-family transfer is weak (high robust accuracy) —
+// the [44] observation our frequency-banded dataset signatures are
+// calibrated to reproduce (DESIGN.md §4), and the only premise Table IV
+// actually needs. (At simulator scale even *within*-family transfer is
+// weak — tiny models overfit model-specific attack directions — so the
+// within-vs-cross gap is reported but not asserted beyond consistency.)
+#include "attacks/bpda.h"
+#include "bench/common.h"
+#include "core/table.h"
+
+int main() {
+  using namespace pelta;
+  const bench::scale s;
+  s.print("Extension — cross-family adversarial transfer matrix");
+
+  const data::dataset ds = bench::make_scaled_dataset("cifar10_like", s);
+  const attacks::suite_params params = attacks::params_for_dataset("cifar10_like");
+
+  const char* names[] = {"ViT-B/16", "ViT-B/32", "ResNet-56", "BiT-M-R101x3"};
+  const bool is_vit[] = {true, true, false, false};
+  constexpr std::size_t n = 4;
+
+  std::vector<std::unique_ptr<models::model>> zoo;
+  for (const char* name : names) zoo.push_back(bench::train_zoo_model(name, ds, s));
+  std::printf("\n");
+
+  // robust[attacker][victim]
+  float robust[n][n];
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t v = 0; v < n; ++v) {
+      const attacks::robust_eval r = attacks::evaluate_transfer_attack(
+          *zoo[v], *zoo[a], ds, params, s.samples, s.seed + static_cast<std::uint64_t>(a * n + v));
+      robust[a][v] = r.robust_accuracy;
+    }
+
+  text_table t;
+  t.set_header({"crafted on \\ replayed on", names[0], names[1], names[2], names[3]});
+  for (std::size_t a = 0; a < n; ++a) {
+    std::vector<std::string> row{names[a]};
+    for (std::size_t v = 0; v < n; ++v) row.push_back(pct(robust[a][v]));
+    t.add_row(std::move(row));
+  }
+  std::printf("Victim robust accuracy under transferred PGD (higher = transfer failed):\n%s",
+              t.to_string().c_str());
+
+  float diag = 0.0f, within = 0.0f, cross = 0.0f;
+  std::int64_t n_within = 0, n_cross = 0;
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t v = 0; v < n; ++v) {
+      if (a == v) {
+        diag += robust[a][v] / static_cast<float>(n);
+      } else if (is_vit[a] == is_vit[v]) {
+        within += robust[a][v];
+        ++n_within;
+      } else {
+        cross += robust[a][v];
+        ++n_cross;
+      }
+    }
+  within /= static_cast<float>(n_within);
+  cross /= static_cast<float>(n_cross);
+
+  std::printf("\nmean robust accuracy: white box %s | within family %s | cross family %s\n",
+              pct(diag).c_str(), pct(within).c_str(), pct(cross).c_str());
+  const bool holds = diag < 0.1f && cross > 0.7f && cross > within - 0.05f;
+  std::printf("paper-shape check (diagonal falls; cross-family transfer is poor): %s\n",
+              holds ? "HOLDS" : "VIOLATED");
+  std::printf("\nReading: the ensemble defense of §V-A2 only works because a sample\n"
+              "crafted against one family rarely defeats the other — measured here\n"
+              "rather than assumed. Our synthetic datasets reproduce the effect by\n"
+              "carrying each family's non-robust feature in a disjoint frequency\n"
+              "band (DESIGN.md §4).\n");
+  return holds ? 0 : 1;
+}

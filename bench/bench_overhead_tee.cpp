@@ -1,0 +1,154 @@
+// §VI System Implications: micro-benchmarks of the TEE-related overheads
+// PELTA adds — world switches, secure-channel marshalling, sealing,
+// shielded vs clear inference, and the FL-round traffic envelope.
+//
+// Wall-clock numbers come from google-benchmark; the enclave's *modeled*
+// latency (µs-scale world switches, per-byte marshalling — the costs the
+// paper attributes to TrustZone/SGX transitions) is reported as counters.
+#include <benchmark/benchmark.h>
+
+#include "core/pelta.h"
+#include "data/dataset.h"
+#include "fl/federation.h"
+#include "models/zoo.h"
+#include "shield/shield.h"
+#include "tee/hotcalls.h"
+#include "tee/profiles.h"
+
+namespace {
+
+using namespace pelta;
+
+const data::dataset& bench_dataset() {
+  static const data::dataset ds = [] {
+    data::dataset_config c = data::cifar10_like();
+    c.classes = 6;
+    c.train_per_class = 20;
+    c.test_per_class = 5;
+    return data::dataset{c};
+  }();
+  return ds;
+}
+
+models::model& bench_vit() {
+  static std::unique_ptr<models::model> m = [] {
+    models::task_spec task;
+    task.classes = 6;
+    return models::make_vit_b16_sim(task);
+  }();
+  return *m;
+}
+
+void BM_WorldSwitch(benchmark::State& state) {
+  tee::enclave e;
+  for (auto _ : state) {
+    e.enter_secure();
+    e.exit_secure();
+  }
+  state.counters["modeled_us_per_switch"] =
+      e.statistics().simulated_ns / 1e3 / static_cast<double>(e.statistics().world_switches);
+}
+BENCHMARK(BM_WorldSwitch);
+
+void BM_SecureStore(benchmark::State& state) {
+  tee::enclave e;
+  rng gen{1};
+  const tensor payload = tensor::randn(gen, {state.range(0)});
+  std::int64_t i = 0;
+  for (auto _ : state) e.store("blob" + std::to_string(i++ % 8), payload);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * payload.byte_size());
+  state.counters["modeled_ns_per_store"] =
+      e.statistics().simulated_ns / static_cast<double>(e.statistics().stores);
+}
+BENCHMARK(BM_SecureStore)->Arg(256)->Arg(4096)->Arg(65536);
+
+// Switchless HotCalls (Weisse et al.) vs per-call ecall-style stores: the
+// real SPSC slot + worker thread runs for wall-clock, and the modeled
+// counters contrast the ≈0.6 µs handoff with the multi-µs switch pair.
+void BM_HotcallStore(benchmark::State& state) {
+  tee::enclave e{tee::enclave::k_default_capacity,
+                 tee::profile(tee::tee_profile_kind::sgx_hotcalls).costs};
+  tee::hotcall_server server{e};
+  rng gen{1};
+  const tensor payload = tensor::randn(gen, {state.range(0)});
+  std::int64_t i = 0;
+  for (auto _ : state) server.store("blob" + std::to_string(i++ % 8), payload);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * payload.byte_size());
+  state.counters["modeled_ns_per_call"] =
+      server.statistics().simulated_ns / static_cast<double>(server.statistics().calls);
+}
+BENCHMARK(BM_HotcallStore)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_SealUnseal(benchmark::State& state) {
+  rng gen{2};
+  const byte_buffer plain = to_bytes(tensor::randn(gen, {state.range(0)}));
+  for (auto _ : state) {
+    const tee::sealed_blob blob = tee::seal(plain, 0xfeed);
+    benchmark::DoNotOptimize(tee::unseal(blob, 0xfeed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plain.size()));
+}
+BENCHMARK(BM_SealUnseal)->Arg(1024)->Arg(16384);
+
+void BM_ClearInference(benchmark::State& state) {
+  const tensor image = bench_dataset().test_image(0);
+  shape_t batched{1, image.size(0), image.size(1), image.size(2)};
+  for (auto _ : state) {
+    models::forward_pass fp = bench_vit().forward(image.reshape(batched), ad::norm_mode::eval);
+    benchmark::DoNotOptimize(fp.graph.value(fp.logits));
+  }
+}
+BENCHMARK(BM_ClearInference);
+
+void BM_ShieldedInference(benchmark::State& state) {
+  // The first deployment-stage overhead of §VI: every pass stores the
+  // frontier quantities into the enclave (context switch + marshalling).
+  defended_model defended{models::make_vit_b16_sim({16, 3, 6, 11})};
+  const tensor image = bench_dataset().test_image(0);
+  for (auto _ : state) benchmark::DoNotOptimize(defended.classify(image));
+  state.counters["modeled_overhead_us_per_pass"] =
+      defended.enclave().statistics().simulated_ns / 1e3 /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ShieldedInference);
+
+void BM_ShieldApplication(benchmark::State& state) {
+  // Algorithm 1 itself (graph walk + placement), isolated from the forward.
+  const tensor image = bench_dataset().test_image(0);
+  shape_t batched{1, image.size(0), image.size(1), image.size(2)};
+  models::forward_pass fp = bench_vit().forward(image.reshape(batched), ad::norm_mode::eval);
+  tee::enclave enclave;
+  for (auto _ : state) {
+    const shield::shield_report r = shield::pelta_shield_tags(
+        fp.graph, bench_vit().shield_frontier_tags(), &enclave, "bench/");
+    benchmark::DoNotOptimize(r.total_bytes());
+  }
+}
+BENCHMARK(BM_ShieldApplication);
+
+void BM_FlRoundTraffic(benchmark::State& state) {
+  // The second §VI stage: training rounds pull updates across the boundary
+  // and the network. Reports bytes per round and the modeled latency.
+  fl::federation_config cfg;
+  cfg.clients = 3;
+  cfg.compromised = 0;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 16;
+  fl::model_factory factory = [] {
+    models::task_spec task;
+    task.classes = 6;
+    return models::make_vit_b32_sim(task);
+  };
+  fl::federation fed{cfg, factory, bench_dataset()};
+  for (auto _ : state) fed.run_round();
+  state.counters["wire_bytes_per_round"] =
+      static_cast<double>(fed.traffic().bytes) / static_cast<double>(state.iterations());
+  state.counters["modeled_net_ms_per_round"] =
+      fed.traffic().simulated_ns / 1e6 / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FlRoundTraffic)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

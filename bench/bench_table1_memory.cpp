@@ -1,0 +1,83 @@
+// Table I: estimated enclave memory cost and model portion shielded.
+//
+// Paper row (ImageNet variants, worst case — enclave never flushed):
+//   Model          Shielded portion   TEE mem. used
+//   ViT-L/16       1.34%              15.16 MB
+//   ViT-B/16       3.61%              11.97 MB
+//   BiT-M-R101x3   4.50e-3%           65.20 KB
+//   BiT-M-R152x4   9.23e-3%           322.14 KB
+//
+// Expected shape at simulator scale: ViT frontiers cost percents of the
+// model and the bulk of the TEE bytes; BiT frontiers are orders of
+// magnitude smaller; the summed ensemble stays far below the TrustZone
+// ~30 MB budget.
+#include "bench/common.h"
+#include "core/pelta.h"
+#include "core/table.h"
+
+int main() {
+  using namespace pelta;
+  const bench::scale s;
+  s.print("Table I — enclave memory cost");
+
+  // ImageNet-variant models, as in the paper's table.
+  const data::dataset ds = bench::make_scaled_dataset("imagenet_like", s);
+  rng gen{s.seed};
+  const tensor probe = ds.test_image(0);
+
+  struct row {
+    std::string name;
+    double portion;
+    std::int64_t bytes;
+    std::int64_t param_bytes;
+  };
+  std::vector<row> rows;
+
+  // Two accountings: "param-side" (masked weights + their gradients — the
+  // quantity the paper's Table I evidently reports: its 65 KB BiT row
+  // cannot contain a 224x224x64 activation) and our conservative "full
+  // worst case" that also keeps every masked activation/adjoint resident.
+  text_table t;
+  t.set_header({"Model", "Shielded portion", "TEE mem. (full worst case)", "(activations",
+                "gradients", "parameters)"});
+  for (const char* name : {"ViT-L/16", "ViT-B/16", "BiT-M-R101x3", "BiT-M-R152x4"}) {
+    models::task_spec task;
+    task.image_size = ds.config().image_size;
+    task.classes = ds.config().classes;
+    task.seed = s.seed;
+    defended_model defended{models::make_model(name, task)};
+    const auto cost = defended.measure_shield_cost(probe, /*with_gradients=*/true);
+    rows.push_back({name, cost.shielded_portion, cost.tee_bytes, cost.bytes_parameters});
+    char portion[32];
+    std::snprintf(portion, sizeof(portion), "%.4f%%", 100.0 * cost.shielded_portion);
+    t.add_row({name, portion, human_bytes(cost.tee_bytes),
+               human_bytes(cost.bytes_activations), human_bytes(cost.bytes_gradients),
+               human_bytes(cost.bytes_parameters)});
+  }
+
+  // Ensemble worst case: both members resident, nothing flushed (paper's
+  // "less than 16 MB at the very worst" argument).
+  const std::int64_t ensemble_bytes = rows[0].bytes + rows[2].bytes;
+  t.add_separator();
+  t.add_row({"Ensemble (ViT-L/16 + BiT-M-R101x3)", "-", human_bytes(ensemble_bytes)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("TrustZone budget: %s; ensemble worst case uses %s (%.2f%%)\n",
+              human_bytes(30ll * 1024 * 1024).c_str(), human_bytes(ensemble_bytes).c_str(),
+              100.0 * static_cast<double>(ensemble_bytes) / (30.0 * 1024 * 1024));
+
+  // Shape: ViT shields a 10x+ larger *fraction* of its model than BiT, and
+  // its parameter-side footprint dwarfs BiT's (the paper's ordering); the
+  // ensemble stays far below the 30 MB TrustZone cap. (Absolute worst-case
+  // bytes flip at simulator scale: 32x32 feature maps rival our token
+  // embeddings, unlike 224x224 models — see EXPERIMENTS.md.)
+  const bool shape_holds = rows[0].portion > 10.0 * rows[2].portion &&
+                           rows[1].portion > 10.0 * rows[3].portion &&
+                           rows[0].param_bytes > 5 * rows[2].param_bytes &&
+                           rows[1].param_bytes > 5 * rows[3].param_bytes &&
+                           ensemble_bytes < 30ll * 1024 * 1024;
+  std::printf("paper-shape check (ViT portion >> BiT portion; ViT param bytes >> BiT;\n"
+              "ensemble < 30MB): %s\n",
+              shape_holds ? "HOLDS" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Table III: robust accuracy of non-shielded (left) vs PELTA-shielded
+// (right) individual models against FGSM / PGD / MIM / C&W / APGD on the
+// three dataset analogues, plus clean accuracy.
+//
+// Expected shapes (paper):
+//   * iterative attacks drive the open white box to ~0% robust accuracy
+//     (FGSM, one-step, is weaker);
+//   * shielding lifts robust accuracy dramatically in every cell;
+//   * APGD stays the strongest attack against the shield;
+//   * shielded ViTs hold up better than shielded CNNs (their clear-layer
+//     adjoint carries no spatial structure for the upsampler to exploit).
+#include "attacks/runner.h"
+#include "bench/common.h"
+#include "core/table.h"
+
+int main() {
+  using namespace pelta;
+  const bench::scale s;
+  s.print("Table III — individual models, five white-box attacks");
+
+  const attacks::attack_kind kinds[] = {attacks::attack_kind::fgsm, attacks::attack_kind::pgd,
+                                        attacks::attack_kind::mim, attacks::attack_kind::cw,
+                                        attacks::attack_kind::apgd};
+
+  struct cell_stats {
+    double clear_sum = 0.0;
+    double shielded_sum = 0.0;
+    int count = 0;
+  };
+  cell_stats per_attack[5];
+  double vit_shielded_sum = 0.0, cnn_shielded_sum = 0.0;
+  int vit_cells = 0, cnn_cells = 0;
+
+  for (const char* dataset_name : {"cifar10_like", "cifar100_like", "imagenet_like"}) {
+    const data::dataset ds = bench::make_scaled_dataset(dataset_name, s);
+    const attacks::suite_params params = attacks::params_for_dataset(dataset_name);
+    std::printf("== %s (eps = %.3f) ==\n", dataset_name, static_cast<double>(params.eps));
+
+    text_table t;
+    t.set_header({"Model", "FGSM", "PGD", "MIM", "C&W", "APGD", "Clean"});
+    for (const std::string& name : models::table3_model_names(dataset_name)) {
+      float clean = 0.0f;
+      auto m = bench::train_zoo_model(name, ds, s, &clean);
+      const bool is_vit = name.rfind("ViT", 0) == 0;
+
+      std::vector<std::string> row{name};
+      for (int k = 0; k < 5; ++k) {
+        const attacks::robust_eval clear = attacks::evaluate_attack(
+            *m, ds, kinds[k], params, attacks::clear_oracle_factory(*m), s.samples, s.seed);
+        const attacks::robust_eval shielded = attacks::evaluate_attack(
+            *m, ds, kinds[k], params, attacks::shielded_oracle_factory(*m), s.samples, s.seed);
+        row.push_back(pct(clear.robust_accuracy) + " " + pct(shielded.robust_accuracy));
+        per_attack[k].clear_sum += clear.robust_accuracy;
+        per_attack[k].shielded_sum += shielded.robust_accuracy;
+        ++per_attack[k].count;
+        if (is_vit) {
+          vit_shielded_sum += shielded.robust_accuracy;
+          ++vit_cells;
+        } else {
+          cnn_shielded_sum += shielded.robust_accuracy;
+          ++cnn_cells;
+        }
+      }
+      row.push_back(pct(clean));
+      t.add_row(std::move(row));
+    }
+    std::printf("%s   (each attack cell: non-shielded  shielded)\n\n", t.to_string().c_str());
+  }
+
+  // Paper-shape summary across all datasets/models.
+  std::printf("== shape summary (means over all models/datasets) ==\n");
+  const char* names[] = {"FGSM", "PGD", "MIM", "C&W", "APGD"};
+  double iterative_clear = 0.0, min_lift = 1.0, mean_lift = 0.0;
+  double apgd_shielded = 0.0, other_shielded = 0.0;
+  for (int k = 0; k < 5; ++k) {
+    const double clear = per_attack[k].clear_sum / per_attack[k].count;
+    const double shielded = per_attack[k].shielded_sum / per_attack[k].count;
+    std::printf("  %-5s non-shielded %5.1f%%  -> shielded %5.1f%%\n", names[k], 100 * clear,
+                100 * shielded);
+    if (k > 0) iterative_clear += clear / 4.0;
+    min_lift = std::min(min_lift, shielded - clear);
+    mean_lift += (shielded - clear) / 5.0;
+    if (k == 4)
+      apgd_shielded = shielded;
+    else
+      other_shielded += shielded / 4.0;
+  }
+  const double vit_shielded = vit_shielded_sum / vit_cells;
+  const double cnn_shielded = cnn_shielded_sum / cnn_cells;
+  std::printf("  shielded ViT mean %5.1f%% vs shielded CNN mean %5.1f%%\n", 100 * vit_shielded,
+              100 * cnn_shielded);
+
+  // Note on magnitudes: APGD's advantage against the shield is *amplified*
+  // at simulator scale — the CNN clear-layer adjoint has the same spatial
+  // resolution as the input, so the upsampled substitute is more
+  // informative than against the paper's 224x224 models. Direction and
+  // ordering (the paper's claims) are what is checked.
+  const bool holds = iterative_clear < 0.15 && mean_lift > 0.3 && min_lift > 0.03 &&
+                     apgd_shielded <= other_shielded + 0.02 && vit_shielded > cnn_shielded;
+  std::printf("paper-shape check (iterative beat the open box; shield lifts every attack,\n"
+              "strongly on average; APGD strongest vs shield; shielded ViT > shielded CNN): %s\n",
+              holds ? "HOLDS" : "VIOLATED");
+  return holds ? 0 : 1;
+}

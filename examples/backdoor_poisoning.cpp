@@ -1,0 +1,92 @@
+// Example: the poisoning attack chain PELTA is motivated by (§I), end to
+// end — a federation with one malicious member planting a trojan-trigger
+// backdoor via model replacement, and the server-side aggregation rules
+// that blunt it.
+//
+//   build/examples/backdoor_poisoning
+#include <cstdio>
+
+#include "fl/poisoning.h"
+#include "fl/server.h"
+#include "models/trainer.h"
+#include "models/zoo.h"
+
+using namespace pelta;
+
+namespace {
+
+std::unique_ptr<models::model> fresh_model(const data::dataset& ds, std::uint64_t seed) {
+  models::task_spec task;
+  task.image_size = ds.config().image_size;
+  task.classes = ds.config().classes;
+  task.seed = seed;
+  return models::make_model("ViT-B/16", task);
+}
+
+float run_federation(const data::dataset& ds, fl::aggregation_rule rule, float* clean_out) {
+  const std::int64_t n_clients = 4;
+  fl::backdoor_config bd;
+  bd.target_class = 0;
+  bd.boost = static_cast<float>(n_clients);
+
+  fl::fl_server server{fresh_model(ds, 1)};
+  std::vector<std::unique_ptr<fl::fl_client>> owned;
+  const auto shard_of = [&](std::int64_t k) {
+    std::vector<std::int64_t> out;
+    for (std::int64_t i = k; i < ds.train_size(); i += n_clients) out.push_back(i);
+    return out;
+  };
+  for (std::int64_t i = 0; i + 1 < n_clients; ++i)
+    owned.push_back(std::make_unique<fl::fl_client>(i, fresh_model(ds, 2 + i), shard_of(i), ds));
+  owned.push_back(std::make_unique<fl::backdoor_client>(n_clients - 1, fresh_model(ds, 99),
+                                                        shard_of(n_clients - 1), ds, bd));
+
+  fl::local_train_config lc;
+  lc.epochs = 2;
+  lc.batch_size = 16;
+  fl::aggregation_config ac;
+  ac.rule = rule;
+  for (std::int64_t r = 0; r < 4; ++r) {
+    const byte_buffer g = server.broadcast();
+    std::vector<fl::model_update> updates;
+    for (auto& c : owned) {
+      c->receive_global(g);
+      updates.push_back(c->local_update(lc));
+    }
+    server.aggregate(updates, ac);
+  }
+  *clean_out = models::accuracy(server.global_model(), ds.test_images(), ds.test_labels());
+  return fl::backdoor_success_rate(server.global_model(), ds, bd, 100);
+}
+
+}  // namespace
+
+int main() {
+  const data::dataset ds{[] {
+    data::dataset_config c = data::cifar10_like();
+    c.train_per_class = 60;
+    c.test_per_class = 25;
+    return c;
+  }()};
+
+  std::printf("Federation: 3 honest clients + 1 backdoor client (trigger = white 4x4\n"
+              "corner patch -> class 0, model replacement boost x4), 4 rounds.\n\n");
+
+  float clean = 0.0f;
+  const float fedavg = run_federation(ds, fl::aggregation_rule::fedavg, &clean);
+  std::printf("FedAvg:            backdoor success %5.1f%%   clean accuracy %5.1f%%\n",
+              100.0f * fedavg, 100.0f * clean);
+  std::printf("  -> the trigger is in, and the main task looks perfectly healthy:\n"
+              "     nothing in the aggregate metrics betrays the attack.\n\n");
+
+  const float median = run_federation(ds, fl::aggregation_rule::coordinate_median, &clean);
+  std::printf("Coordinate median: backdoor success %5.1f%%   clean accuracy %5.1f%%\n",
+              100.0f * median, 100.0f * clean);
+  std::printf("  -> the boosted update is an outlier in every coordinate; the\n"
+              "     median simply never follows it.\n\n");
+
+  std::printf("See bench_extension_poisoning for the full rule sweep and the\n"
+              "evasion-poisoning scenario where PELTA removes the attacker's\n"
+              "ability to find adversarial examples in the first place.\n");
+  return fedavg > median ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Table IV in miniature: a ViT + BiT random-selection ensemble under the
+// Self-Attention Gradient Attack, across the four shield settings.
+//
+//   $ ./examples/ensemble_defense
+#include <cstdio>
+
+#include "core/table.h"
+#include "models/ensemble.h"
+#include "models/trainer.h"
+#include "attacks/runner.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace pelta;
+  std::printf("PELTA example — ensemble defense against SAGA\n\n");
+
+  data::dataset_config dc = data::cifar10_like();
+  dc.classes = 6;
+  dc.train_per_class = 80;
+  dc.test_per_class = 20;
+  const data::dataset ds{dc};
+
+  models::task_spec task;
+  task.classes = dc.classes;
+  auto vit = models::make_vit_l16_sim(task);
+  auto bit = models::make_bit_r101x3_sim(task);
+
+  models::train_config tc;
+  tc.epochs = 10;
+  tc.lr = 3e-3f;
+  std::printf("training %s ...\n", vit->name().c_str());
+  const auto rv = models::train_model(*vit, ds, tc);
+  std::printf("training %s ...\n", bit->name().c_str());
+  const auto rb = models::train_model(*bit, ds, tc);
+  std::printf("clean accuracy: %s %s | %s %s\n\n", vit->name().c_str(),
+              pct(rv.test_accuracy).c_str(), bit->name().c_str(), pct(rb.test_accuracy).c_str());
+
+  models::random_selection_ensemble ensemble{*vit, *bit};
+  rng policy_rng{5};
+  std::printf("ensemble (random selection) clean accuracy: %s\n\n",
+              pct(ensemble.accuracy(ds.test_images(), ds.test_labels(), policy_rng)).c_str());
+
+  const attacks::suite_params params = attacks::table2_cifar_params();
+  const std::int64_t samples = 30;
+
+  struct setting {
+    const char* name;
+    bool shield_vit;
+    bool shield_bit;
+  };
+  const setting settings[] = {{"none", false, false},
+                              {"ViT only", true, false},
+                              {"BiT only", false, true},
+                              {"both (full PELTA)", true, true}};
+
+  text_table t;
+  t.set_header({"Applied shield", "ViT robust", "BiT robust", "Ensemble robust"});
+  for (const setting& s : settings) {
+    const attacks::saga_eval r =
+        attacks::evaluate_saga(*vit, *bit, ds, s.shield_vit, s.shield_bit, params, samples, 11);
+    t.add_row({s.name, pct(r.vit_robust_accuracy), pct(r.cnn_robust_accuracy),
+               pct(r.ensemble_robust_accuracy)});
+  }
+  std::printf("SAGA (eps=%.3f, %lld steps, %lld samples):\n%s\n",
+              static_cast<double>(params.eps), static_cast<long long>(params.saga_steps),
+              static_cast<long long>(samples), t.to_string().c_str());
+
+  std::printf("Shielding a single member pushes SAGA entirely onto the clear\n"
+              "model; random selection then saves about half the queries. Shielding\n"
+              "both members is the paper's recommended full-protection setting.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: train a classifier, wrap it in a PELTA defended_model, and
+// watch a PGD attacker succeed against the open white box but fail against
+// the shield.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/pelta.h"
+#include "core/table.h"
+#include "models/trainer.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace pelta;
+  std::printf("%s — quickstart\n\n", version());
+
+  // 1. A small dataset (synthetic CIFAR-10 stand-in) and a ViT classifier.
+  data::dataset_config dc = data::cifar10_like();
+  dc.classes = 6;
+  dc.train_per_class = 80;
+  dc.test_per_class = 25;
+  const data::dataset ds{dc};
+
+  models::task_spec task;
+  task.classes = dc.classes;
+  defended_model defended{models::make_vit_b16_sim(task)};
+
+  std::printf("training %s (%lld parameters) ...\n", defended.model().name().c_str(),
+              static_cast<long long>(defended.model().parameter_count()));
+  models::train_config tc;
+  tc.epochs = 10;
+  tc.lr = 3e-3f;
+  const models::train_report tr = models::train_model(defended.model(), ds, tc);
+  std::printf("clean accuracy: train %s, test %s\n\n", pct(tr.train_accuracy).c_str(),
+              pct(tr.test_accuracy).c_str());
+
+  // 2. Shielded inference: the PELTA frontier lives in the TEE enclave.
+  const std::int64_t pred = defended.classify(ds.test_image(0));
+  const auto cost = defended.measure_shield_cost(ds.test_image(0), /*with_gradients=*/true);
+  std::printf("shielded inference -> class %lld\n", static_cast<long long>(pred));
+  std::printf("enclave footprint: %s (%.2f%% of the model's parameters masked)\n\n",
+              human_bytes(cost.tee_bytes).c_str(), 100.0 * cost.shielded_portion);
+
+  // 3. PGD from the attacker's point of view, without and with PELTA.
+  const attacks::suite_params params = attacks::table2_cifar_params();
+  const std::int64_t samples = 40;
+  const attacks::robust_eval clear =
+      attacks::evaluate_attack(defended.model(), ds, attacks::attack_kind::pgd, params,
+                               attacks::clear_oracle_factory(defended.model()), samples, 1);
+  const attacks::robust_eval shielded =
+      attacks::evaluate_attack(defended.model(), ds, attacks::attack_kind::pgd, params,
+                               attacks::shielded_oracle_factory(defended.model()), samples, 1);
+
+  text_table t;
+  t.set_header({"Setting", "Robust accuracy", "Attack success"});
+  t.add_row({"open white box", pct(clear.robust_accuracy),
+             std::to_string(clear.attack_successes) + "/" + std::to_string(clear.samples)});
+  t.add_row({"PELTA shielded", pct(shielded.robust_accuracy),
+             std::to_string(shielded.attack_successes) + "/" + std::to_string(shielded.samples)});
+  std::printf("PGD (eps=%.3f, %lld steps):\n%s\n", static_cast<double>(params.eps),
+              static_cast<long long>(params.pgd_steps), t.to_string().c_str());
+
+  std::printf("The shield leaves the attacker only the adjoint of the first clear\n"
+              "layer; its upsampled substitute gradient no longer finds adversarial\n"
+              "examples, while inference is untouched.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shield-depth vs enclave-budget explorer: how much TEE memory does each
+// Select frontier cost, and when does a deeper shield stop fitting a
+// TrustZone-class enclave? (The trade-off behind Table I and §VI.)
+//
+//   $ ./examples/tee_budget_explorer
+#include <cstdio>
+
+#include "autodiff/ops_loss.h"
+#include "core/table.h"
+#include "models/zoo.h"
+#include "shield/policy.h"
+#include "shield/shield.h"
+#include "tensor/ops.h"
+
+int main() {
+  using namespace pelta;
+  std::printf("PELTA example — TEE budget explorer\n\n");
+
+  models::task_spec task;
+  task.classes = 10;
+  rng gen{3};
+  const tensor image = tensor::rand_uniform(gen, {1, 3, 16, 16});
+
+  for (const char* name : {"ViT-B/16", "ResNet-56", "BiT-M-R101x3"}) {
+    auto m = models::make_model(name, task);
+    std::printf("%s (%lld parameters), paper frontier: %s\n", name,
+                static_cast<long long>(m->parameter_count()),
+                m->shield_frontier_tags()[0].c_str());
+
+    text_table t;
+    t.set_header({"Select depth", "frontier node", "masked transforms", "masked params",
+                  "enclave bytes", "of 30MB budget"});
+    for (std::int64_t depth : {1, 2, 4, 8, 16}) {
+      models::forward_pass fp = m->forward(image, ad::norm_mode::eval);
+      const ad::node_id labels = fp.graph.add_constant(tensor{{1}, {0.0f}});
+      const ad::node_id loss =
+          fp.graph.add_transform(ad::make_cross_entropy(), {fp.logits, labels});
+      fp.graph.backward(loss);
+
+      std::vector<ad::node_id> frontier;
+      try {
+        frontier = shield::select_first_k_transforms(fp.graph, depth);
+      } catch (const error&) {
+        break;  // model has fewer transforms than `depth`
+      }
+      const shield::shield_report r = shield::pelta_shield(fp.graph, frontier, nullptr);
+      const double budget =
+          static_cast<double>(r.total_bytes()) / (30.0 * 1024.0 * 1024.0);
+      t.add_row({std::to_string(depth), fp.graph.at(frontier[0]).tag,
+                 std::to_string(r.masked_transforms.size()),
+                 std::to_string(r.masked_param_scalars), human_bytes(r.total_bytes()),
+                 pct(budget)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  std::printf("Shallow frontiers cost kilobytes; the budget only bites when large\n"
+              "embedding or convolution stacks move inside — which is exactly why the\n"
+              "paper shields only the first transformations of each model.\n");
+  return 0;
+}

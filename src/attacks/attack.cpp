@@ -1,0 +1,30 @@
+#include "attacks/attack.h"
+
+#include <cmath>
+
+namespace pelta::attacks {
+
+tensor project_linf(const tensor& x, const tensor& x0, float eps) {
+  PELTA_CHECK_MSG(x.same_shape(x0), "project_linf shape mismatch");
+  tensor out{x.shape()};
+  auto px = x.data();
+  auto p0 = x0.data();
+  auto po = out.data();
+  for (std::size_t i = 0; i < po.size(); ++i) {
+    const float lo = std::max(0.0f, p0[i] - eps);
+    const float hi = std::min(1.0f, p0[i] + eps);
+    po[i] = std::min(std::max(px[i], lo), hi);
+  }
+  return out;
+}
+
+float linf_distance(const tensor& x, const tensor& x0) {
+  PELTA_CHECK_MSG(x.same_shape(x0), "linf_distance shape mismatch");
+  float m = 0.0f;
+  auto px = x.data();
+  auto p0 = x0.data();
+  for (std::size_t i = 0; i < px.size(); ++i) m = std::max(m, std::fabs(px[i] - p0[i]));
+  return m;
+}
+
+}  // namespace pelta::attacks

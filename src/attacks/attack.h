@@ -1,0 +1,33 @@
+// Common attack types and helpers (Fig. 3: maximum-allowable attacks stay
+// inside an l∞ ε-ball around the origin sample; every iterate is also
+// clamped to the valid pixel range [0,1]).
+#pragma once
+
+#include "attacks/oracle.h"
+
+namespace pelta::attacks {
+
+/// Per-step record of an attack trajectory (Fig. 3 bench).
+struct trajectory_point {
+  std::int64_t step = 0;
+  float loss = 0.0f;
+  float linf_from_origin = 0.0f;
+  std::int64_t predicted = -1;
+};
+
+/// Outcome of one attack run on one sample.
+struct attack_result {
+  tensor adversarial;                      ///< final (or best) iterate
+  std::int64_t queries = 0;                ///< oracle queries consumed
+  bool misclassified = false;              ///< predicted != label at the end
+  std::vector<trajectory_point> trajectory;///< filled only when traced
+};
+
+/// Project x into the l∞ ε-ball around x0, then clamp to [0,1] (the P
+/// operator of the PGD step, composed with the pixel-range constraint).
+tensor project_linf(const tensor& x, const tensor& x0, float eps);
+
+/// ||x - x0||∞.
+float linf_distance(const tensor& x, const tensor& x0);
+
+}  // namespace pelta::attacks

@@ -1,0 +1,51 @@
+// BPDA-style surrogate attacker (§IV-C, §VII future work).
+//
+// Against PELTA, the paper's attacker has no priors on the shielded
+// parameters and resorts to random-kernel upsampling. §IV-C notes the
+// stronger (and fundamentally limiting, Athalye et al.) option: *train* a
+// differentiable approximation — which "supposes he has training resources
+// equivalent to that of the FL system". This module implements that
+// attacker: it distills a full surrogate model from the victim's visible
+// logits (model stealing over the attacker's own data), then runs the
+// white-box attack on the surrogate and transfers the example.
+//
+// The extension bench quantifies both sides of the paper's argument: the
+// transfer attack recovers much of the lost attack success — gradient
+// masking is not information-theoretic security — at the price of a full
+// training run, which the FL threat model makes expensive.
+#pragma once
+
+#include "attacks/runner.h"
+
+namespace pelta::attacks {
+
+struct surrogate_config {
+  std::string architecture;      ///< zoo name; attacker knows the architecture
+  std::int64_t epochs = 6;
+  std::int64_t batch_size = 16;
+  float lr = 3e-3f;
+  std::int64_t shards = 1;
+  std::uint64_t seed = 99;       ///< attacker's own init — no weight priors
+  bool distill = true;           ///< train on victim-predicted labels (stealing)
+};
+
+struct surrogate_result {
+  std::unique_ptr<models::model> surrogate;
+  std::int64_t label_queries = 0;   ///< victim forward passes spent on labels
+  float agreement = 0.0f;           ///< surrogate-vs-victim test agreement
+};
+
+/// Train the attacker's surrogate on `attacker_data` (their local shard in
+/// the FL story). With distill=true the labels are the victim's predictions
+/// — only the clear model *outputs*, never the shielded internals.
+surrogate_result train_surrogate(const models::model& victim, const data::dataset& attacker_data,
+                                 const surrogate_config& config);
+
+/// Craft PGD white-box on the surrogate, replay on the victim; robust
+/// accuracy is measured on the victim (higher favors the defender).
+robust_eval evaluate_transfer_attack(const models::model& victim,
+                                     const models::model& surrogate, const data::dataset& ds,
+                                     const suite_params& params, std::int64_t max_samples,
+                                     std::uint64_t seed);
+
+}  // namespace pelta::attacks

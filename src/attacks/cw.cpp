@@ -1,0 +1,58 @@
+#include "attacks/cw.h"
+
+#include "tensor/ops.h"
+
+namespace pelta::attacks {
+
+attack_result run_cw(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                     const cw_config& config) {
+  attack_result r;
+  tensor x = x0;
+  const std::int64_t dim = x0.numel();
+
+  for (std::int64_t step = 0; step < config.steps; ++step) {
+    // One probe for the logits (to build the margin seed), then a seeded
+    // backward for d<seed, Z>/dx.
+    const oracle_result probe = oracle.query(x, label);
+    ++r.queries;
+    const tensor& z = probe.logits;
+    const std::int64_t classes = z.numel();
+
+    if (config.early_stop && probe.predicted != label) {
+      r.adversarial = std::move(x);
+      r.misclassified = true;
+      return r;
+    }
+
+    // runner-up class j* = argmax_{j != y} Z_j
+    std::int64_t runner_up = label == 0 ? 1 : 0;
+    for (std::int64_t j = 0; j < classes; ++j)
+      if (j != label && z[j] > z[runner_up]) runner_up = j;
+
+    const float margin = z[label] - z[runner_up];
+    tensor seed{shape_t{classes}};
+    if (margin > -config.confidence) {  // f active: ∂f/∂Z = e_y - e_{j*}
+      seed[label] = 1.0f;
+      seed[runner_up] = -1.0f;
+    }
+
+    const oracle_result q = oracle.query_logit_seed(x, seed);
+    ++r.queries;
+
+    // ∇(||δ||² + c f) = 2 δ + c ∂f/∂x
+    tensor grad = ops::sub(x, x0);
+    grad.mul_(2.0f / static_cast<float>(dim));
+    grad.add_scaled_(q.gradient, config.c);
+
+    x.add_scaled_(grad, -config.eps_step);
+    x.clamp_(0.0f, 1.0f);
+  }
+
+  const oracle_result final_q = oracle.query(x, label);
+  ++r.queries;
+  r.misclassified = final_q.predicted != label;
+  r.adversarial = std::move(x);
+  return r;
+}
+
+}  // namespace pelta::attacks

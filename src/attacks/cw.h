@@ -1,0 +1,21 @@
+// Carlini & Wagner attack (regularization-based, §V-B): iteratively
+// minimizes ||δ||₂² + c · f(x0 + δ) where f is the logit-margin term
+// f(x) = max(Z_y - max_{j≠y} Z_j, -κ) with confidence κ.
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace pelta::attacks {
+
+struct cw_config {
+  float confidence = 50.0f;  ///< κ
+  float eps_step = 0.00155f; ///< gradient-descent learning rate
+  std::int64_t steps = 30;
+  float c = 10.0f;           ///< misclassification weight
+  bool early_stop = true;
+};
+
+attack_result run_cw(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                     const cw_config& config);
+
+}  // namespace pelta::attacks

@@ -1,0 +1,181 @@
+#include "attacks/eot.h"
+
+#include <atomic>
+
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace pelta::attacks {
+
+namespace {
+
+class defended_oracle final : public gradient_oracle {
+public:
+  defended_oracle(std::unique_ptr<gradient_oracle> inner,
+                  const defenses::preprocessor_chain& chain, std::int64_t eot_samples,
+                  std::uint64_t seed)
+      : inner_{std::move(inner)},
+        chain_{&chain},
+        eot_samples_{chain.randomized() ? eot_samples : 1},
+        gen_{seed} {
+    PELTA_CHECK_MSG(eot_samples >= 1, "eot_samples " << eot_samples << " must be >= 1");
+  }
+
+  oracle_result query(const tensor& image, std::int64_t label) override {
+    return average([&](const tensor& xt) { return inner_->query(xt, label); }, image);
+  }
+
+  oracle_result query_logit_seed(const tensor& image, const tensor& seed) override {
+    return average([&](const tensor& xt) { return inner_->query_logit_seed(xt, seed); }, image);
+  }
+
+  tensor attention_saliency(const tensor& image) override {
+    return inner_->attention_saliency(chain_->apply(image, gen_));
+  }
+
+  void reset(rng& gen) override { inner_->reset(gen); }
+
+private:
+  template <typename Query>
+  oracle_result average(const Query& one, const tensor& image) {
+    oracle_result acc;
+    for (std::int64_t k = 0; k < eot_samples_; ++k) {
+      const oracle_result r = one(chain_->apply(image, gen_));
+      ++queries_;
+      if (k == 0) {
+        acc = r;
+      } else {
+        acc.gradient = ops::add(acc.gradient, r.gradient);
+        acc.logits = ops::add(acc.logits, r.logits);
+        acc.loss += r.loss;
+      }
+    }
+    const float inv = 1.0f / static_cast<float>(eot_samples_);
+    acc.gradient = ops::mul_scalar(acc.gradient, inv);
+    acc.logits = ops::mul_scalar(acc.logits, inv);
+    acc.loss *= inv;
+    acc.predicted = ops::argmax(acc.logits);
+    return acc;
+  }
+
+  std::unique_ptr<gradient_oracle> inner_;
+  const defenses::preprocessor_chain* chain_;
+  std::int64_t eot_samples_;
+  rng gen_;
+};
+
+}  // namespace
+
+std::unique_ptr<gradient_oracle> make_defended_oracle(std::unique_ptr<gradient_oracle> inner,
+                                                      const defenses::preprocessor_chain& chain,
+                                                      std::int64_t eot_samples,
+                                                      std::uint64_t seed) {
+  return std::make_unique<defended_oracle>(std::move(inner), chain, eot_samples, seed);
+}
+
+oracle_factory defended_oracle_factory(const oracle_factory& inner_factory,
+                                       const defenses::preprocessor_chain& chain,
+                                       std::int64_t eot_samples) {
+  const defenses::preprocessor_chain* cp = &chain;
+  return [inner_factory, cp, eot_samples](std::uint64_t seed) {
+    return make_defended_oracle(inner_factory(seed), *cp, eot_samples, seed ^ 0xe07e07u);
+  };
+}
+
+robust_eval evaluate_attack_defended(const defenses::defended_model& dm, const data::dataset& ds,
+                                     const defended_eval_config& config,
+                                     const oracle_factory& inner_factory) {
+  // Candidate pool: correctly classified *through the defense* — robust
+  // accuracy starts at 100% exactly as in the paper's protocol.
+  const rng root{config.seed};
+  std::vector<std::int64_t> candidates;
+  for (std::int64_t i = 0; i < ds.test_size() &&
+                           static_cast<std::int64_t>(candidates.size()) < config.max_samples;
+       ++i) {
+    rng gen = root.fork(static_cast<std::uint64_t>(i));
+    if (dm.predict_one(ds.test_image(i), gen) == ds.test_label(i)) candidates.push_back(i);
+  }
+  PELTA_CHECK_MSG(!candidates.empty(), "defended model classifies no test sample correctly");
+
+  const oracle_factory factory =
+      defended_oracle_factory(inner_factory, dm.chain(), config.eot_samples);
+
+  std::atomic<std::int64_t> successes{0};
+  std::atomic<std::int64_t> total_queries{0};
+  parallel_for(static_cast<std::int64_t>(candidates.size()), [&](std::int64_t i) {
+    rng sample_rng = root.fork(0x10000u + static_cast<std::uint64_t>(i));
+    auto oracle = factory(sample_rng.next_u64());
+    const std::int64_t idx = candidates[static_cast<std::size_t>(i)];
+    const tensor x0 = ds.test_image(idx);
+    const std::int64_t label = ds.test_label(idx);
+
+    attack_result r;
+    switch (config.kind) {
+      case attack_kind::fgsm: {
+        fgsm_config c;
+        c.eps = config.params.eps;
+        r = run_fgsm(*oracle, x0, label, c);
+        break;
+      }
+      case attack_kind::pgd: {
+        pgd_config c;
+        c.eps = config.params.eps;
+        c.eps_step = config.params.eps_step;
+        c.steps = config.params.pgd_steps;
+        c.early_stop = false;  // success is judged by the defended model below
+        r = run_pgd(*oracle, x0, label, c);
+        break;
+      }
+      case attack_kind::mim: {
+        mim_config c;
+        c.eps = config.params.eps;
+        c.eps_step = config.params.eps_step;
+        c.steps = config.params.pgd_steps;
+        c.mu = config.params.mim_mu;
+        c.early_stop = false;
+        r = run_mim(*oracle, x0, label, c);
+        break;
+      }
+      case attack_kind::apgd: {
+        apgd_config c;
+        c.eps = config.params.eps;
+        c.max_queries = config.params.apgd_queries;
+        c.restarts = config.params.apgd_restarts;
+        c.rho = config.params.apgd_rho;
+        c.early_stop = false;
+        r = run_apgd(*oracle, x0, label, c, sample_rng);
+        break;
+      }
+      case attack_kind::cw: {
+        cw_config c;
+        c.confidence = config.params.cw_confidence;
+        c.eps_step = config.params.cw_step;
+        c.steps = config.params.cw_steps;
+        r = run_cw(*oracle, x0, label, c);
+        break;
+      }
+    }
+
+    // Deployment check: the victim's device also applies the defense, on
+    // randomness the attacker does not control.
+    rng deploy = root.fork(0x20000u + static_cast<std::uint64_t>(i));
+    if (dm.predict_one(r.adversarial, deploy) != label)
+      successes.fetch_add(1, std::memory_order_relaxed);
+    total_queries.fetch_add(r.queries, std::memory_order_relaxed);
+  });
+
+  robust_eval out;
+  out.samples = static_cast<std::int64_t>(candidates.size());
+  out.attack_successes = successes.load();
+  out.robust_accuracy =
+      1.0f - static_cast<float>(out.attack_successes) / static_cast<float>(out.samples);
+  out.mean_queries = static_cast<double>(total_queries.load()) / static_cast<double>(out.samples);
+  return out;
+}
+
+float defended_clean_accuracy(const defenses::defended_model& dm, const data::dataset& ds,
+                              std::uint64_t seed) {
+  return dm.accuracy(ds.test_images(), ds.test_labels(), seed);
+}
+
+}  // namespace pelta::attacks

@@ -1,0 +1,107 @@
+#include "attacks/inversion.h"
+
+#include <cmath>
+
+#include "autodiff/ops_loss.h"
+#include "shield/baselines.h"
+#include "shield/masked_view.h"
+#include "shield/policy.h"
+#include "tensor/ops.h"
+
+namespace pelta::attacks {
+
+const char* observation_policy_name(observation_policy policy) {
+  switch (policy) {
+    case observation_policy::clear: return "no shield";
+    case observation_policy::param_gradient: return "param-gradient shield (GradSec)";
+    case observation_policy::pelta: return "PELTA";
+  }
+  return "?";
+}
+
+namespace {
+
+ad::node_id find_parameter_node(const ad::graph& g, const std::string& param_name) {
+  for (ad::node_id id = 0; id < g.node_count(); ++id) {
+    const ad::node& n = g.at(id);
+    if (n.kind == ad::node_kind::parameter && n.param != nullptr && n.param->name == param_name)
+      return id;
+  }
+  throw error{"no parameter node named " + param_name};
+}
+
+}  // namespace
+
+inversion_result run_gradient_inversion(const models::mlp_model& m, const tensor& image,
+                                        std::int64_t label, observation_policy policy) {
+  PELTA_CHECK_MSG(image.ndim() == 3, "expects one [C,H,W] image");
+
+  // The victim's local training step (batch = 1).
+  models::forward_pass fp =
+      m.forward(image.reshape({1, image.size(0), image.size(1), image.size(2)}),
+                ad::norm_mode::train);
+  const ad::node_id labels =
+      fp.graph.add_constant(tensor{shape_t{1}, {static_cast<float>(label)}});
+  const ad::node_id loss =
+      fp.graph.add_transform(ad::make_cross_entropy(), {fp.logits, labels}, "inv_loss");
+  fp.graph.backward(loss);
+
+  // What the adversary may observe.
+  shield::shield_report report;  // clear: nothing masked
+  switch (policy) {
+    case observation_policy::clear:
+      break;
+    case observation_policy::param_gradient:
+      report = shield::param_gradient_shield(fp.graph, nullptr);
+      break;
+    case observation_policy::pelta:
+      report = shield::pelta_shield_tags(fp.graph, m.shield_frontier_tags(), nullptr);
+      break;
+  }
+  const shield::masked_view view{fp.graph, report};
+
+  inversion_result out;
+  const ad::node_id w_node = find_parameter_node(fp.graph, "mlp.fc0.w");
+  const ad::node_id b_node = find_parameter_node(fp.graph, "mlp.fc0.b");
+  tensor grad_w, grad_b;
+  try {
+    grad_w = view.adjoint(w_node);  // [in, out] = xᵀ δ
+    grad_b = view.adjoint(b_node);  // [out]     = δ
+  } catch (const tee::enclave_access_error&) {
+    out.blocked = true;
+    return out;
+  }
+
+  // Rank-1 reconstruction: pick the output unit with the largest |δ_i|.
+  std::int64_t best = ops::argmax(ops::abs(grad_b));
+  const float delta_i = grad_b[best];
+  if (std::abs(delta_i) < 1e-12f) return out;  // degenerate step: zero loss
+
+  const std::int64_t in_dim = grad_w.size(0);
+  tensor flat{shape_t{in_dim}};
+  for (std::int64_t j = 0; j < in_dim; ++j) flat[j] = grad_w.at(j, best) / delta_i;
+  out.reconstruction = flat.reshape(image.shape());
+
+  const float dot = ops::dot(out.reconstruction, image);
+  const float denom = ops::norm_l2(out.reconstruction) * ops::norm_l2(image);
+  out.cosine = denom > 0.0f ? dot / denom : 0.0f;
+  out.mse = [&] {
+    const tensor diff = ops::sub(out.reconstruction, image);
+    return ops::dot(diff, diff) / static_cast<float>(diff.numel());
+  }();
+  return out;
+}
+
+float inversion_quality(const models::mlp_model& m, const data::dataset& ds,
+                        observation_policy policy, std::int64_t max_samples) {
+  PELTA_CHECK_MSG(max_samples > 0, "max_samples must be positive");
+  const std::int64_t n = std::min(max_samples, ds.test_size());
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const inversion_result r = run_gradient_inversion(m, ds.test_image(i), ds.test_label(i), policy);
+    if (!r.blocked) acc += std::max(0.0f, r.cosine);
+  }
+  return acc / static_cast<float>(n);
+}
+
+}  // namespace pelta::attacks

@@ -1,0 +1,57 @@
+// Gradient-inversion attack and the §II defense matrix.
+//
+// The related-work shields (DarkneTZ, PPFL, GradSec) protect ∇θL because
+// parameter gradients leak private training data — the inversion threat.
+// PELTA protects ∇ₓL because input gradients power evasion attacks. The
+// paper contrasts the two in §II; this module makes the contrast
+// measurable by implementing the classic inversion primitive:
+//
+// For batch-size-1 cross-entropy training of a model whose first layer is
+// affine over the raw input (the §III DNN, models/mlp.h), the chain rule
+// factors the first layer's gradients as a rank-1 outer product
+//
+//     ∇W₁ = xᵀ δ₁,   ∇b₁ = δ₁
+//
+// so anyone who can read them reconstructs the private input exactly:
+// x_j = ∇W₁[j,i] / ∇b₁[i]. (Zhu et al.'s DLG generalizes this by
+// optimization; the analytic first-layer case is the strongest leak and
+// needs no iteration.)
+//
+// Three observation policies cover the matrix's rows:
+//   clear          — no shield: both attacks work
+//   param_gradient — GradSec-style: inversion blocked, evasion untouched
+//   pelta          — frontier masked: evasion blocked; the *first layer's*
+//                    gradients happen to sit inside the frontier, so the
+//                    analytic inversion is blocked too (deeper layers stay
+//                    readable but only leak through iterative DLG, which
+//                    loses the closed form)
+#pragma once
+
+#include "attacks/runner.h"
+#include "models/mlp.h"
+
+namespace pelta::attacks {
+
+enum class observation_policy : std::uint8_t { clear, param_gradient, pelta };
+
+const char* observation_policy_name(observation_policy policy);
+
+struct inversion_result {
+  tensor reconstruction;  ///< [C,H,W]; meaningful only when !blocked
+  float cosine = 0.0f;    ///< similarity to the true private input
+  float mse = 0.0f;
+  bool blocked = false;   ///< the shield denied the required gradients
+};
+
+/// One local training step (batch = 1) on (image, label); the adversary
+/// then reads the first layer's parameter gradients through the masked
+/// view of `policy` and runs the rank-1 reconstruction.
+inversion_result run_gradient_inversion(const models::mlp_model& m, const tensor& image,
+                                        std::int64_t label, observation_policy policy);
+
+/// Mean reconstruction cosine over `max_samples` test images (blocked
+/// observations contribute 0 — the attacker learned nothing).
+float inversion_quality(const models::mlp_model& m, const data::dataset& ds,
+                        observation_policy policy, std::int64_t max_samples);
+
+}  // namespace pelta::attacks

@@ -1,0 +1,211 @@
+#include "attacks/iterative.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace pelta::attacks {
+
+namespace {
+
+void trace_point(attack_result& r, bool enabled, std::int64_t step, float loss,
+                 const tensor& x, const tensor& x0, std::int64_t predicted) {
+  if (!enabled) return;
+  r.trajectory.push_back(trajectory_point{step, loss, linf_distance(x, x0), predicted});
+}
+
+// Targeted mode plumbing (see iterative.h): the loss is queried at the
+// target class and descended; the goal flips to hitting the target.
+struct goal {
+  std::int64_t label;   ///< class the oracle is queried with
+  float direction;      ///< +1 ascend (untargeted), -1 descend (targeted)
+  std::int64_t target;  ///< < 0 = untargeted
+
+  goal(std::int64_t true_label, std::int64_t target_class)
+      : label{target_class >= 0 ? target_class : true_label},
+        direction{target_class >= 0 ? -1.0f : 1.0f},
+        target{target_class} {
+    PELTA_CHECK_MSG(target_class < 0 || target_class != true_label,
+                    "targeted attack: target equals the true label");
+    true_label_ = true_label;
+  }
+
+  bool achieved(std::int64_t predicted) const {
+    return target >= 0 ? predicted == target : predicted != true_label_;
+  }
+
+private:
+  std::int64_t true_label_;
+};
+
+}  // namespace
+
+attack_result run_fgsm(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                       const fgsm_config& config) {
+  const goal g{label, config.target};
+  attack_result r;
+  const oracle_result q = oracle.query(x0, g.label);
+  tensor x = x0;
+  x.add_scaled_(ops::sign(q.gradient), g.direction * config.eps);
+  r.adversarial = project_linf(x, x0, config.eps);
+  r.queries = 1;
+
+  const oracle_result check = oracle.query(r.adversarial, g.label);
+  ++r.queries;
+  r.misclassified = g.achieved(check.predicted);
+  return r;
+}
+
+attack_result run_pgd(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                      const pgd_config& config) {
+  const goal g{label, config.target};
+  attack_result r;
+  tensor x = x0;
+  for (std::int64_t step = 0; step < config.steps; ++step) {
+    const oracle_result q = oracle.query(x, g.label);
+    ++r.queries;
+    trace_point(r, config.trace, step, q.loss, x, x0, q.predicted);
+    if (config.early_stop && g.achieved(q.predicted)) {
+      r.adversarial = std::move(x);
+      r.misclassified = true;
+      return r;
+    }
+    x.add_scaled_(ops::sign(q.gradient), g.direction * config.eps_step);
+    x = project_linf(x, x0, config.eps);
+  }
+  const oracle_result final_q = oracle.query(x, g.label);
+  ++r.queries;
+  trace_point(r, config.trace, config.steps, final_q.loss, x, x0, final_q.predicted);
+  r.misclassified = g.achieved(final_q.predicted);
+  r.adversarial = std::move(x);
+  return r;
+}
+
+attack_result run_mim(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                      const mim_config& config) {
+  const goal gl{label, config.target};
+  attack_result r;
+  tensor x = x0;
+  tensor velocity{x0.shape()};
+  for (std::int64_t step = 0; step < config.steps; ++step) {
+    const oracle_result q = oracle.query(x, gl.label);
+    ++r.queries;
+    trace_point(r, config.trace, step, q.loss, x, x0, q.predicted);
+    if (config.early_stop && gl.achieved(q.predicted)) {
+      r.adversarial = std::move(x);
+      r.misclassified = true;
+      return r;
+    }
+    // g_µ(i) = µ g_µ(i-1) + grad / ||grad||₁  (Dong et al. Eq. 6)
+    tensor g = q.gradient;
+    const float l1 = ops::sum(ops::abs(g));
+    if (l1 > 0.0f) g.mul_(1.0f / l1);
+    velocity.mul_(config.mu);
+    velocity.add_(g);
+    x.add_scaled_(ops::sign(velocity), gl.direction * config.eps_step);
+    x = project_linf(x, x0, config.eps);
+  }
+  const oracle_result final_q = oracle.query(x, gl.label);
+  ++r.queries;
+  trace_point(r, config.trace, config.steps, final_q.loss, x, x0, final_q.predicted);
+  r.misclassified = gl.achieved(final_q.predicted);
+  r.adversarial = std::move(x);
+  return r;
+}
+
+attack_result run_apgd(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                       const apgd_config& config, rng& restart_gen) {
+  attack_result r;
+  tensor global_best = x0;
+  float global_best_loss = -1e30f;
+
+  const std::int64_t per_restart =
+      std::max<std::int64_t>(4, config.max_queries / std::max<std::int64_t>(1, config.restarts));
+
+  for (std::int64_t restart = 0; restart < config.restarts; ++restart) {
+    oracle.reset(restart_gen);  // shielded setting: fresh upsampling kernel
+
+    // Checkpoint schedule p_{j+1} = p_j + max(p_j - p_{j-1} - 0.03, 0.06).
+    std::vector<std::int64_t> checkpoints;
+    {
+      double p_prev = 0.0, p_cur = 0.22;
+      checkpoints.push_back(static_cast<std::int64_t>(p_cur * static_cast<double>(per_restart)));
+      while (checkpoints.back() < per_restart) {
+        const double p_next = p_cur + std::max(p_cur - p_prev - 0.03, 0.06);
+        p_prev = p_cur;
+        p_cur = p_next;
+        checkpoints.push_back(static_cast<std::int64_t>(p_cur * static_cast<double>(per_restart)));
+      }
+    }
+
+    float step_size = 2.0f * config.eps;
+    tensor x = x0;
+    tensor x_prev = x0;
+    tensor best = x0;
+    float best_loss = -1e30f;
+    float best_loss_at_checkpoint = -1e30f;
+    float step_at_checkpoint = step_size;
+    std::int64_t ascents = 0, since_checkpoint = 0;
+    std::size_t next_cp = 0;
+    float prev_loss = -1e30f;
+
+    for (std::int64_t k = 0; k < per_restart; ++k) {
+      const oracle_result q = oracle.query(x, label);
+      ++r.queries;
+      if (q.loss > best_loss) {
+        best_loss = q.loss;
+        best = x;
+      }
+      if (q.loss > prev_loss) ++ascents;
+      prev_loss = q.loss;
+      ++since_checkpoint;
+
+      if (config.early_stop && q.predicted != label) {
+        r.adversarial = std::move(x);
+        r.misclassified = true;
+        return r;
+      }
+
+      // z = P(x + η sign g); x⁺ = P(x + α (z - x) + (1-α)(x - x_prev))
+      tensor z = x;
+      z.add_scaled_(ops::sign(q.gradient), step_size);
+      z = project_linf(z, x0, config.eps);
+      tensor x_next = x;
+      x_next.add_scaled_(ops::sub(z, x), config.alpha);
+      x_next.add_scaled_(ops::sub(x, x_prev), 1.0f - config.alpha);
+      x_next = project_linf(x_next, x0, config.eps);
+      x_prev = std::move(x);
+      x = std::move(x_next);
+
+      if (next_cp < checkpoints.size() && k + 1 >= checkpoints[next_cp]) {
+        const bool stalled =
+            static_cast<float>(ascents) < config.rho * static_cast<float>(since_checkpoint);
+        const bool no_progress =
+            step_size == step_at_checkpoint && best_loss == best_loss_at_checkpoint;
+        if (stalled || no_progress) {
+          step_size *= 0.5f;
+          x = best;  // restart the search from the incumbent
+          x_prev = best;
+        }
+        step_at_checkpoint = step_size;
+        best_loss_at_checkpoint = best_loss;
+        ascents = 0;
+        since_checkpoint = 0;
+        ++next_cp;
+      }
+    }
+
+    if (best_loss > global_best_loss) {
+      global_best_loss = best_loss;
+      global_best = best;
+    }
+  }
+
+  const oracle_result final_q = oracle.query(global_best, label);
+  ++r.queries;
+  r.misclassified = final_q.predicted != label;
+  r.adversarial = std::move(global_best);
+  return r;
+}
+
+}  // namespace pelta::attacks

@@ -1,0 +1,66 @@
+// Iterative maximum-allowable attacks (§V-B, Fig. 3): FGSM, PGD, MIM, APGD.
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace pelta::attacks {
+
+/// Targeted mode, shared by FGSM/PGD/MIM: instead of ascending the loss of
+/// the true label, the attack *descends* the loss of a chosen target class
+/// (the paper's §V-C attributes part of BiT's weakness to sensitivity to
+/// targeted attacks). With target >= 0: step direction flips to
+/// -sign(∇ₓL(x, target)) and attack_result.misclassified reports
+/// "predicted == target" instead of "predicted != label".
+struct fgsm_config {
+  float eps = 0.031f;
+  std::int64_t target = -1;  ///< < 0 = untargeted
+};
+
+struct pgd_config {
+  float eps = 0.031f;
+  float eps_step = 0.00155f;
+  std::int64_t steps = 20;
+  bool early_stop = true;   ///< stop once the attack goal holds
+  bool trace = false;       ///< record the Fig. 3 trajectory
+  std::int64_t target = -1; ///< < 0 = untargeted
+};
+
+struct mim_config {
+  float eps = 0.031f;
+  float eps_step = 0.00155f;
+  std::int64_t steps = 20;
+  float mu = 1.0f;  ///< momentum decay factor
+  bool early_stop = true;
+  bool trace = false;
+  std::int64_t target = -1;  ///< < 0 = untargeted
+};
+
+struct apgd_config {
+  float eps = 0.031f;
+  std::int64_t max_queries = 100;  ///< paper: 5e3; scaled for the CPU simulator
+  std::int64_t restarts = 1;
+  float rho = 0.75f;               ///< step-halving progress threshold
+  float alpha = 0.75f;             ///< momentum blending
+  bool early_stop = true;
+};
+
+/// x_adv = x0 + ε · sign(∇ₓL(x0, y)), one query (Goodfellow et al.).
+attack_result run_fgsm(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                       const fgsm_config& config);
+
+/// Projected gradient descent (Madry et al.).
+attack_result run_pgd(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                      const pgd_config& config);
+
+/// Momentum iterative method (Dong et al.): velocity over normalized grads.
+attack_result run_mim(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                      const mim_config& config);
+
+/// Auto-PGD (Croce & Hein, simplified): momentum step, halving of the step
+/// size at checkpoints when the ascent stalls (fraction < rho), restart from
+/// the best point; each restart re-randomizes the oracle (which re-draws
+/// the upsampling kernel in the shielded setting).
+attack_result run_apgd(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                       const apgd_config& config, rng& restart_gen);
+
+}  // namespace pelta::attacks

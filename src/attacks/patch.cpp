@@ -1,0 +1,126 @@
+#include "attacks/patch.h"
+
+#include "tensor/ops.h"
+
+namespace pelta::attacks {
+
+namespace {
+
+struct patch_region {
+  std::int64_t top = 0;
+  std::int64_t left = 0;
+  std::int64_t size = 0;
+};
+
+patch_region resolve_region(const shape_t& image_shape, const patch_config& config) {
+  PELTA_CHECK_MSG(image_shape.size() == 3, "patch expects a [C,H,W] image");
+  const std::int64_t h = image_shape[1], w = image_shape[2];
+  PELTA_CHECK_MSG(config.size >= 1 && config.size <= h && config.size <= w,
+                  "patch size " << config.size << " too large for " << to_string(image_shape));
+  patch_region r;
+  r.size = config.size;
+  r.top = config.top >= 0 ? config.top : h - config.size;
+  r.left = config.left >= 0 ? config.left : w - config.size;
+  PELTA_CHECK_MSG(r.top + r.size <= h && r.left + r.size <= w,
+                  "patch at (" << r.top << "," << r.left << ") exceeds the image");
+  return r;
+}
+
+bool goal_achieved(std::int64_t predicted, std::int64_t label, std::int64_t target) {
+  return target >= 0 ? predicted == target : predicted != label;
+}
+
+}  // namespace
+
+tensor apply_patch(const tensor& image, const tensor& patch, const patch_config& config) {
+  const patch_region r = resolve_region(image.shape(), config);
+  PELTA_CHECK_MSG(patch.ndim() == 3 && patch.size(0) == image.size(0) &&
+                      patch.size(1) == r.size && patch.size(2) == r.size,
+                  "patch shape " << to_string(patch.shape()) << " does not match the config");
+  tensor out = image;
+  for (std::int64_t c = 0; c < out.size(0); ++c)
+    for (std::int64_t y = 0; y < r.size; ++y)
+      for (std::int64_t x = 0; x < r.size; ++x)
+        out.at(c, r.top + y, r.left + x) = patch.at(c, y, x);
+  return out;
+}
+
+attack_result run_patch(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                        const patch_config& config) {
+  PELTA_CHECK_MSG(config.target < 0 || config.target != label,
+                  "targeted patch: target equals the true label");
+  const patch_region r = resolve_region(x0.shape(), config);
+  const std::int64_t query_label = config.target >= 0 ? config.target : label;
+  const float direction = config.target >= 0 ? -1.0f : 1.0f;
+
+  attack_result result;
+  tensor x = x0;
+  for (std::int64_t step = 0; step < config.steps; ++step) {
+    const oracle_result q = oracle.query(x, query_label);
+    ++result.queries;
+    if (config.early_stop && goal_achieved(q.predicted, label, config.target)) {
+      result.adversarial = std::move(x);
+      result.misclassified = true;
+      return result;
+    }
+    // sign ascent restricted to the sticker's support; magnitude only
+    // bounded by the pixel range
+    for (std::int64_t c = 0; c < x.size(0); ++c)
+      for (std::int64_t y = 0; y < r.size; ++y)
+        for (std::int64_t xx = 0; xx < r.size; ++xx) {
+          const float g = q.gradient.at(c, r.top + y, r.left + xx);
+          float& pixel = x.at(c, r.top + y, r.left + xx);
+          pixel += direction * config.step_size * (g > 0.0f ? 1.0f : (g < 0.0f ? -1.0f : 0.0f));
+          pixel = std::min(1.0f, std::max(0.0f, pixel));
+        }
+  }
+  const oracle_result final_q = oracle.query(x, query_label);
+  ++result.queries;
+  result.misclassified = goal_achieved(final_q.predicted, label, config.target);
+  result.adversarial = std::move(x);
+  return result;
+}
+
+universal_patch_result train_universal_patch(gradient_oracle& oracle,
+                                             const std::vector<tensor>& images,
+                                             const std::vector<std::int64_t>& labels,
+                                             const patch_config& config, rng& gen) {
+  PELTA_CHECK_MSG(!images.empty() && images.size() == labels.size(),
+                  "universal patch needs a non-empty (image,label) pool");
+  const patch_region r = resolve_region(images.front().shape(), config);
+  const std::int64_t channels = images.front().size(0);
+
+  universal_patch_result result;
+  result.patch = tensor::rand_uniform(gen, {channels, r.size, r.size});
+
+  for (std::int64_t step = 0; step < config.steps; ++step) {
+    // Average the sticker-region gradient over the pool (untargeted:
+    // ascend each sample's own loss; targeted: descend toward the target).
+    tensor grad{result.patch.shape()};
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      const tensor patched = apply_patch(images[i], result.patch, config);
+      const std::int64_t q_label = config.target >= 0 ? config.target : labels[i];
+      const oracle_result q = oracle.query(patched, q_label);
+      ++result.queries;
+      for (std::int64_t c = 0; c < channels; ++c)
+        for (std::int64_t y = 0; y < r.size; ++y)
+          for (std::int64_t x = 0; x < r.size; ++x)
+            grad.at(c, y, x) += q.gradient.at(c, r.top + y, r.left + x);
+    }
+    const float direction = config.target >= 0 ? -1.0f : 1.0f;
+    result.patch.add_scaled_(ops::sign(grad), direction * config.step_size);
+    result.patch.clamp_(0.0f, 1.0f);
+  }
+
+  std::int64_t fooled = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const oracle_result q =
+        oracle.query(apply_patch(images[i], result.patch, config), labels[i]);
+    ++result.queries;
+    if (goal_achieved(q.predicted, labels[i], config.target)) ++fooled;
+  }
+  result.train_success = static_cast<float>(fooled) / static_cast<float>(images.size());
+  return result;
+}
+
+}  // namespace pelta::attacks

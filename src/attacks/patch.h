@@ -1,0 +1,56 @@
+// Adversarial patch attacks (Brown et al. [14]) — the paper's §I opening
+// scenario: "he puts adversarial stickers on objects (roadsigns for
+// instance) ... the objects are then misclassified by unaware agents
+// running the collaboratively learned model".
+//
+// Unlike the ε-ball attacks of §V-B, a patch is *unconstrained in
+// magnitude but constrained in support*: only the pixels inside a small
+// square change, by any amount in [0,1]. Both variants follow the input
+// gradient restricted to the patch mask — exactly the ∇ₓL signal PELTA
+// removes — so the shielded attacker degrades the same way the ε-ball
+// attackers do.
+//
+//   * run_patch             — per-sample sticker on one image
+//   * train_universal_patch — one physical sticker optimized over a pool
+//                             of training images and replayed on unseen
+//                             ones (the transferable "road-sign sticker")
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace pelta::attacks {
+
+struct patch_config {
+  std::int64_t size = 4;         ///< square side, pixels
+  std::int64_t top = -1;         ///< patch origin; -1 = bottom-right corner
+  std::int64_t left = -1;
+  std::int64_t steps = 60;       ///< gradient-ascent iterations
+  float step_size = 0.08f;       ///< sign-step magnitude inside the mask
+  bool early_stop = true;
+  std::int64_t target = -1;      ///< < 0 = untargeted
+};
+
+/// Optimize a sticker on one image; attack_result.misclassified is the
+/// goal predicate (untargeted: label flipped; targeted: target hit).
+attack_result run_patch(gradient_oracle& oracle, const tensor& x0, std::int64_t label,
+                        const patch_config& config);
+
+/// Apply a trained patch [C,s,s] onto a copy of `image` at the config's
+/// location.
+tensor apply_patch(const tensor& image, const tensor& patch, const patch_config& config);
+
+struct universal_patch_result {
+  tensor patch;                ///< [C,s,s]
+  float train_success = 0.0f;  ///< misclassification rate on the pool
+  std::int64_t queries = 0;
+};
+
+/// Train one patch over a pool of (image,label) pairs: per step, gradients
+/// of the loss w.r.t. the input are averaged over the pool and only the
+/// masked region of the shared patch is updated.
+universal_patch_result train_universal_patch(gradient_oracle& oracle,
+                                             const std::vector<tensor>& images,
+                                             const std::vector<std::int64_t>& labels,
+                                             const patch_config& config, rng& gen);
+
+}  // namespace pelta::attacks

@@ -1,0 +1,112 @@
+#include "attacks/priors.h"
+
+#include <cmath>
+
+#include "attacks/bpda.h"
+#include "shield/shield.h"
+#include "tensor/ops.h"
+
+namespace pelta::attacks {
+
+const char* prior_tier_name(prior_tier tier) {
+  switch (tier) {
+    case prior_tier::none: return "none (random re-init)";
+    case prior_tier::related: return "related (public-data model)";
+    case prior_tier::exact: return "exact (shared pretrained embedding)";
+  }
+  return "?";
+}
+
+std::vector<std::string> shielded_parameter_names(const models::model& m,
+                                                  const tensor& sample_image) {
+  PELTA_CHECK_MSG(sample_image.ndim() == 3, "expects one [C,H,W] sample image");
+  const shape_t batched{1, sample_image.size(0), sample_image.size(1), sample_image.size(2)};
+  models::forward_pass fp = m.forward(sample_image.reshape(batched), ad::norm_mode::eval);
+  const shield::shield_report report =
+      shield::pelta_shield_tags(fp.graph, m.shield_frontier_tags(), /*enclave=*/nullptr);
+
+  std::vector<std::string> names;
+  for (ad::node_id id : report.masked_side) {
+    const ad::node& n = fp.graph.at(id);
+    if (n.kind == ad::node_kind::parameter && n.param != nullptr) names.push_back(n.param->name);
+  }
+  PELTA_CHECK_MSG(!names.empty(), "shield frontier of " << m.name() << " masks no parameters");
+  return names;
+}
+
+std::vector<std::string> assemble_prior_substitute(models::model& substitute,
+                                                   const models::model& victim,
+                                                   const prior_attack_config& config,
+                                                   const tensor& sample_image) {
+  const std::vector<std::string> frontier = shielded_parameter_names(victim, sample_image);
+
+  // Start from the victim's full weights (deep layers are clear in PELTA's
+  // threat model), then overwrite the frontier according to the tier.
+  substitute.params().copy_values_from(victim.params());
+  const auto victim_buffers = victim.batchnorm_buffers();
+  const auto sub_buffers = substitute.batchnorm_buffers();
+  PELTA_CHECK_MSG(victim_buffers.size() == sub_buffers.size(),
+                  "substitute architecture mismatch: batch-norm buffer count");
+  for (std::size_t i = 0; i < victim_buffers.size(); ++i) *sub_buffers[i] = *victim_buffers[i];
+
+  switch (config.tier) {
+    case prior_tier::exact:
+      break;  // frontier already equals the victim's
+    case prior_tier::related: {
+      PELTA_CHECK_MSG(config.prior_source != nullptr, "related tier needs a prior_source model");
+      for (const std::string& name : frontier) {
+        const ad::parameter& src = config.prior_source->params().get(name);
+        ad::parameter& dst = substitute.params().get(name);
+        PELTA_CHECK_MSG(src.value.same_shape(dst.value),
+                        "prior_source parameter " << name << " shape mismatch");
+        dst.value = src.value;
+      }
+      break;
+    }
+    case prior_tier::none: {
+      rng gen{config.seed};
+      for (const std::string& name : frontier) {
+        ad::parameter& dst = substitute.params().get(name);
+        // Re-draw at the victim's own scale: the attacker knows the
+        // architecture and its initialization statistics, just not the
+        // trained values.
+        const float n = static_cast<float>(dst.value.numel());
+        float mean = 0.0f;
+        for (float v : dst.value.data()) mean += v;
+        mean /= n;
+        float var = 0.0f;
+        for (float v : dst.value.data()) var += (v - mean) * (v - mean);
+        const float stddev = std::sqrt(var / std::max(1.0f, n - 1.0f));
+        dst.value = tensor::randn(gen, dst.value.shape(), mean, std::max(stddev, 1e-3f));
+      }
+      break;
+    }
+  }
+  return frontier;
+}
+
+robust_eval evaluate_prior_attack(const models::model& victim, models::model& substitute,
+                                  const prior_attack_config& config, const data::dataset& ds,
+                                  const suite_params& params, std::int64_t max_samples,
+                                  std::uint64_t seed) {
+  assemble_prior_substitute(substitute, victim, config, ds.test_image(0));
+  return evaluate_transfer_attack(victim, substitute, ds, params, max_samples, seed);
+}
+
+float frontier_agreement(const models::model& substitute, const models::model& victim,
+                         const std::vector<std::string>& frontier_names, float tol) {
+  std::int64_t total = 0, agree = 0;
+  for (const std::string& name : frontier_names) {
+    const ad::parameter& a = substitute.params().get(name);
+    const ad::parameter& b = victim.params().get(name);
+    PELTA_CHECK_MSG(a.value.same_shape(b.value), "frontier parameter shape mismatch: " << name);
+    for (std::int64_t i = 0; i < a.value.numel(); ++i) {
+      ++total;
+      if (std::abs(a.value[i] - b.value[i]) <= tol) ++agree;
+    }
+  }
+  PELTA_CHECK_MSG(total > 0, "empty frontier");
+  return static_cast<float>(agree) / static_cast<float>(total);
+}
+
+}  // namespace pelta::attacks

@@ -1,0 +1,73 @@
+// Prior-based attackers on the shielded frontier (§VII future work (i)).
+//
+// The paper warns that "an attacker can exploit commonly used embedding
+// matrices and subsequent parameters across existing models as a prior on
+// the shielded layers (this case being circumvented by the defender if it
+// trains its own first parameters)". PELTA hides only the shallow frontier;
+// everything deeper is clear — so an attacker with a guess for the frontier
+// can assemble a complete substitute model:
+//
+//     substitute = [frontier prior] ∘ [victim's clear deep layers]
+//
+// and run the ordinary white-box attack on it. Three prior tiers measure
+// how good that guess must be:
+//
+//   none    — random re-initialization (no prior; the paper's default threat)
+//   related — frontier copied from a same-architecture model trained on
+//             *public* data (the "commonly used embedding matrices" case)
+//   exact   — frontier equals the victim's, e.g. a public pretrained
+//             embedding the defender failed to re-train (the case the paper
+//             says the defender must circumvent)
+//
+// Expected shape (the bench's check): exact ≈ open white box, related in
+// between, none ≈ the upsampling attacker — PELTA's protection degrades
+// exactly as fast as the attacker's prior improves.
+#pragma once
+
+#include "attacks/runner.h"
+
+namespace pelta::attacks {
+
+enum class prior_tier : std::uint8_t { none, related, exact };
+
+const char* prior_tier_name(prior_tier tier);
+
+/// Names of the victim's enclave-resident (frontier) parameters, derived
+/// from a dry shield run over one forward pass on `sample_image`.
+std::vector<std::string> shielded_parameter_names(const models::model& m,
+                                                  const tensor& sample_image);
+
+struct prior_attack_config {
+  prior_tier tier = prior_tier::none;
+  /// Same-architecture source for the related tier (trained on public
+  /// data); ignored for none/exact.
+  const models::model* prior_source = nullptr;
+  /// Seed for the none tier's random frontier re-initialization.
+  std::uint64_t seed = 7;
+};
+
+/// Fill `substitute` (a freshly constructed model of the victim's exact
+/// architecture) with the attacker's best knowledge: every clear parameter
+/// is copied from the victim verbatim; the shielded frontier comes from the
+/// prior tier. Batch-norm style running buffers are copied from the victim
+/// (they ride along with the clear FL broadcast for the architectures this
+/// study uses — ViT and BiT carry none inside the frontier).
+/// Returns the frontier parameter names that were substituted.
+std::vector<std::string> assemble_prior_substitute(models::model& substitute,
+                                                   const models::model& victim,
+                                                   const prior_attack_config& config,
+                                                   const tensor& sample_image);
+
+/// Full tier evaluation: assemble the substitute, PGD on it, replay on the
+/// victim (higher robust accuracy favors the defender).
+robust_eval evaluate_prior_attack(const models::model& victim, models::model& substitute,
+                                  const prior_attack_config& config, const data::dataset& ds,
+                                  const suite_params& params, std::int64_t max_samples,
+                                  std::uint64_t seed);
+
+/// Fraction of frontier scalars at which substitute and victim agree to
+/// within `tol` — a direct measure of prior quality (1.0 for exact).
+float frontier_agreement(const models::model& substitute, const models::model& victim,
+                         const std::vector<std::string>& frontier_names, float tol = 1e-6f);
+
+}  // namespace pelta::attacks

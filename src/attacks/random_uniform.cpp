@@ -1,0 +1,12 @@
+#include "attacks/random_uniform.h"
+
+namespace pelta::attacks {
+
+tensor run_random_uniform(const tensor& x0, const random_uniform_config& config, rng& gen) {
+  tensor x = x0;
+  for (float& v : x.data()) v += gen.uniform(-config.eps, config.eps);
+  x.clamp_(0.0f, 1.0f);
+  return x;
+}
+
+}  // namespace pelta::attacks

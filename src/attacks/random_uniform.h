@@ -1,0 +1,16 @@
+// Random-uniform l∞ baseline (Table IV "Random" column): perturb every
+// pixel by U(-ε, ε) and clamp — the gradient-free yardstick a shielded
+// attacker should not be able to beat by much.
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace pelta::attacks {
+
+struct random_uniform_config {
+  float eps = 0.031f;
+};
+
+tensor run_random_uniform(const tensor& x0, const random_uniform_config& config, rng& gen);
+
+}  // namespace pelta::attacks

@@ -1,0 +1,52 @@
+#include "attacks/saga.h"
+
+#include "tensor/ops.h"
+
+namespace pelta::attacks {
+
+saga_result run_saga(gradient_oracle& vit_oracle, gradient_oracle& cnn_oracle, const tensor& x0,
+                     std::int64_t label, const saga_config& config) {
+  saga_result r;
+  const float alpha_v = 1.0f - config.alpha_k;
+  tensor x = x0;
+
+  for (std::int64_t step = 0; step < config.steps; ++step) {
+    const oracle_result qv = vit_oracle.query(x, label);
+    const oracle_result qk = cnn_oracle.query(x, label);
+    const tensor phi_v = vit_oracle.attention_saliency(x);
+    r.queries += 3;
+
+    r.vit_fooled = qv.predicted != label;
+    r.cnn_fooled = qk.predicted != label;
+    if (config.early_stop && r.vit_fooled && r.cnn_fooled) {
+      r.adversarial = std::move(x);
+      return r;
+    }
+
+    // G_blend = α_k g_k + α_v (φ_v ⊙ g_v)
+    tensor g_vit = ops::mul(phi_v, qv.gradient);
+    tensor g_cnn = qk.gradient;
+    if (config.normalize) {
+      const float nv = ops::norm_linf(g_vit);
+      const float nk = ops::norm_linf(g_cnn);
+      if (nv > 0.0f) g_vit.mul_(1.0f / nv);
+      if (nk > 0.0f) g_cnn.mul_(1.0f / nk);
+    }
+    tensor blend = std::move(g_vit);
+    blend.mul_(alpha_v);
+    blend.add_scaled_(g_cnn, config.alpha_k);
+
+    x.add_scaled_(ops::sign(blend), config.eps_step);
+    x = project_linf(x, x0, config.eps);
+  }
+
+  const oracle_result fv = vit_oracle.query(x, label);
+  const oracle_result fk = cnn_oracle.query(x, label);
+  r.queries += 2;
+  r.vit_fooled = fv.predicted != label;
+  r.cnn_fooled = fk.predicted != label;
+  r.adversarial = std::move(x);
+  return r;
+}
+
+}  // namespace pelta::attacks

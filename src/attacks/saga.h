@@ -1,0 +1,45 @@
+// Self-Attention Gradient Attack (Mahmood et al., §V-B) against the
+// ViT + BiT random-selection ensemble:
+//
+//   x^(i+1) = x^(i) + ε_step · sign(G_blend(x^(i)))                 (Eq. 2)
+//   G_blend = α_k ∂L_k/∂x + α_v φ_v ⊙ ∂L_v/∂x,  α_v = 1 - α_k      (Eq. 3)
+//
+// φ_v is the self-attention rollout map of Eq. 4, applied at pixel level
+// (class-token attention row → patch grid → bilinear upsample), following
+// the SAGA reference implementation. Under a PELTA shield the corresponding
+// ∂L/∂x term degrades to the upsampled adjoint its oracle provides; the
+// attention maps are deep in the network and stay readable either way.
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace pelta::attacks {
+
+struct saga_config {
+  float eps = 0.031f;
+  float eps_step = 0.0031f;
+  std::int64_t steps = 20;
+  /// CNN-gradient weight; α_v = 1 - α_k. The paper's Table II values
+  /// (2e-4 / 1e-3) are tuned to the *raw* gradient scales of their models,
+  /// where BiT gradients dwarf the φ_v-weighted ViT term. With `normalize`
+  /// on (each term scaled to unit l∞ first, our simulator default), the
+  /// balanced effective weight is 0.5.
+  float alpha_k = 0.5f;
+  bool normalize = true;
+  bool early_stop = true;  ///< stop when *both* members are fooled
+};
+
+struct saga_result {
+  tensor adversarial;
+  bool vit_fooled = false;
+  bool cnn_fooled = false;
+  std::int64_t queries = 0;
+};
+
+/// `vit_oracle` must belong to the transformer member (provides
+/// attention_saliency); `cnn_oracle` to the CNN member. Either may be the
+/// clear or the shielded variant — that is exactly Table IV's four settings.
+saga_result run_saga(gradient_oracle& vit_oracle, gradient_oracle& cnn_oracle, const tensor& x0,
+                     std::int64_t label, const saga_config& config);
+
+}  // namespace pelta::attacks

@@ -1,0 +1,53 @@
+#include "autodiff/gradcheck.h"
+
+#include <cmath>
+
+namespace pelta::ad {
+
+tensor numeric_grad(const std::function<float(const tensor&)>& f, const tensor& x, float eps) {
+  tensor g{x.shape()};
+  tensor probe = x;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = probe[i];
+    probe[i] = orig + eps;
+    const float hi = f(probe);
+    probe[i] = orig - eps;
+    const float lo = f(probe);
+    probe[i] = orig;
+    g[i] = (hi - lo) / (2.0f * eps);
+  }
+  return g;
+}
+
+tensor numeric_jacobian(const std::function<tensor(const tensor&)>& f, const tensor& x,
+                        float eps) {
+  const tensor base = f(x);
+  const std::int64_t m = base.numel(), n = x.numel();
+  tensor jac{shape_t{m, n}};
+  tensor probe = x;
+  for (std::int64_t j = 0; j < n; ++j) {
+    const float orig = probe[j];
+    probe[j] = orig + eps;
+    const tensor hi = f(probe);
+    probe[j] = orig - eps;
+    const tensor lo = f(probe);
+    probe[j] = orig;
+    PELTA_CHECK(hi.numel() == m && lo.numel() == m);
+    for (std::int64_t i = 0; i < m; ++i) jac.at(i, j) = (hi[i] - lo[i]) / (2.0f * eps);
+  }
+  return jac;
+}
+
+float max_rel_error(const tensor& a, const tensor& b, float floor) {
+  PELTA_CHECK_MSG(a.same_shape(b), "max_rel_error shape mismatch");
+  float worst = 0.0f;
+  auto pa = a.data();
+  auto pb = b.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const float denom = std::max({std::fabs(pa[i]), std::fabs(pb[i]), floor});
+    worst = std::max(worst, std::fabs(pa[i] - pb[i]) / denom);
+  }
+  return worst;
+}
+
+}  // namespace pelta::ad

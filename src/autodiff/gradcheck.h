@@ -1,0 +1,24 @@
+// Finite-difference utilities used by the test suite to validate every
+// op's backward pass and the PELTA Jacobian semantics.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace pelta::ad {
+
+/// Central-difference gradient of a scalar function at x.
+tensor numeric_grad(const std::function<float(const tensor&)>& f, const tensor& x,
+                    float eps = 1e-3f);
+
+/// Central-difference dense Jacobian [out_numel, in_numel] of a
+/// tensor-valued function at x — the materialized form of the paper's local
+/// Jacobian J_{j→i} for small graphs.
+tensor numeric_jacobian(const std::function<tensor(const tensor&)>& f, const tensor& x,
+                        float eps = 1e-3f);
+
+/// max_i |a_i - b_i| / max(|a_i|, |b_i|, floor): symmetric relative error.
+float max_rel_error(const tensor& a, const tensor& b, float floor = 1e-2f);
+
+}  // namespace pelta::ad

@@ -1,0 +1,49 @@
+// Computational-graph node, mirroring the paper's G = ⟨n, l, E, u, f⟩:
+// leaf vertices are inputs/parameters/constants, non-leaf vertices carry a
+// differentiable transform f_i and its cached value u_i and adjoint dL/du_i.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autodiff/op.h"
+#include "tensor/tensor.h"
+
+namespace pelta::ad {
+
+using node_id = std::int32_t;
+inline constexpr node_id invalid_node = -1;
+
+enum class node_kind : std::uint8_t {
+  input,      ///< model input leaf (the attacker's trainable x)
+  parameter,  ///< trained weight/bias leaf
+  constant,   ///< non-differentiable leaf (labels, fixed masks)
+  transform,  ///< non-leaf vertex computed by an op
+};
+
+/// Persistent trainable parameter owned by an nn layer; graphs reference it.
+struct parameter {
+  std::string name;
+  tensor value;
+  tensor grad;  ///< accumulated by graph::accumulate_param_grads
+
+  explicit parameter(std::string n, tensor v)
+      : name{std::move(n)}, value{std::move(v)}, grad{value.shape()} {}
+};
+
+struct node {
+  node_id id = invalid_node;
+  node_kind kind = node_kind::constant;
+  std::string tag;                 ///< model-assigned label, e.g. "vit.patch_proj"
+  std::vector<node_id> parents;    ///< edge set E, in op-argument order
+  op_ptr oper;                     ///< null for leaves
+  parameter* param = nullptr;      ///< backing parameter for parameter leaves
+  tensor value;                    ///< u_i
+  tensor adjoint;                  ///< dL/du_i (valid iff has_adjoint)
+  bool has_adjoint = false;
+  bool input_dependent = false;    ///< the model input flows into this vertex
+  bool requires_grad = false;      ///< adjoint needed (input/param ancestry)
+};
+
+}  // namespace pelta::ad

@@ -1,0 +1,37 @@
+// Differentiable operation interface for the computational graph.
+//
+// Each graph node u_i = f_i(α_i) owns one op instance. Ops may cache
+// forward-pass state (e.g. max-pool indices) for their backward pass, which
+// is why instances are per-node and forward() is non-const.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pelta::ad {
+
+class op {
+public:
+  virtual ~op() = default;
+
+  /// Stable operation name, e.g. "matmul", "conv2d" — used in graph dumps,
+  /// shield reports and the enclave's Jacobian records.
+  virtual std::string_view name() const = 0;
+
+  /// Compute u_i = f_i(α_i). `inputs` are the parent values in edge order.
+  virtual tensor forward(std::span<const tensor* const> inputs) = 0;
+
+  /// Chain rule: given dL/du_i, return dL/dα_i for every parent (same order
+  /// as `inputs`). `output` is the cached forward value of this node.
+  virtual std::vector<tensor> backward(const tensor& grad_out,
+                                       std::span<const tensor* const> inputs,
+                                       const tensor& output) const = 0;
+};
+
+using op_ptr = std::unique_ptr<op>;
+
+}  // namespace pelta::ad

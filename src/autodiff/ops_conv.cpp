@@ -1,0 +1,182 @@
+#include "autodiff/ops_conv.h"
+
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+
+namespace pelta::ad {
+
+namespace {
+
+class conv2d_op final : public op {
+public:
+  conv2d_op(std::int64_t stride, std::int64_t pad, bool with_bias)
+      : stride_{stride}, pad_{pad}, with_bias_{with_bias} {
+    PELTA_CHECK(stride >= 1 && pad >= 0);
+  }
+  std::string_view name() const override { return "conv2d"; }
+
+  tensor forward(std::span<const tensor* const> in) override {
+    PELTA_CHECK(in.size() == (with_bias_ ? 3u : 2u));
+    static const tensor no_bias{shape_t{0}};
+    return ops::conv2d(*in[0], *in[1], with_bias_ ? *in[2] : no_bias, stride_, pad_);
+  }
+
+  std::vector<tensor> backward(const tensor& g, std::span<const tensor* const> in,
+                               const tensor&) const override {
+    std::vector<tensor> grads;
+    grads.push_back(ops::conv2d_backward_input(g, *in[1], stride_, pad_, in[0]->shape()));
+    grads.push_back(ops::conv2d_backward_weight(g, *in[0], stride_, pad_, in[1]->shape()));
+    if (with_bias_) grads.push_back(ops::conv2d_backward_bias(g));
+    return grads;
+  }
+
+private:
+  std::int64_t stride_;
+  std::int64_t pad_;
+  bool with_bias_;
+};
+
+class maxpool_op final : public op {
+public:
+  std::string_view name() const override { return "maxpool2x2"; }
+
+  tensor forward(std::span<const tensor* const> in) override {
+    PELTA_CHECK(in.size() == 1);
+    auto r = ops::maxpool2x2(*in[0]);
+    indices_ = std::move(r.indices);
+    return std::move(r.output);
+  }
+
+  std::vector<tensor> backward(const tensor& g, std::span<const tensor* const> in,
+                               const tensor&) const override {
+    return {ops::maxpool2x2_backward(g, indices_, in[0]->shape())};
+  }
+
+private:
+  tensor indices_;
+};
+
+class global_avgpool_op final : public op {
+public:
+  std::string_view name() const override { return "global_avgpool"; }
+
+  tensor forward(std::span<const tensor* const> in) override {
+    PELTA_CHECK(in.size() == 1);
+    return ops::global_avgpool(*in[0]);
+  }
+
+  std::vector<tensor> backward(const tensor& g, std::span<const tensor* const> in,
+                               const tensor&) const override {
+    return {ops::global_avgpool_backward(g, in[0]->shape())};
+  }
+};
+
+class patchify_op final : public op {
+public:
+  explicit patchify_op(std::int64_t ps) : ps_{ps} { PELTA_CHECK(ps >= 1); }
+  std::string_view name() const override { return "patchify"; }
+
+  tensor forward(std::span<const tensor* const> in) override {
+    PELTA_CHECK(in.size() == 1);
+    const tensor& x = *in[0];
+    PELTA_CHECK_MSG(x.ndim() == 4, "patchify input " << to_string(x.shape()));
+    const std::int64_t b = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    PELTA_CHECK_MSG(h % ps_ == 0 && w % ps_ == 0,
+                    "patch size " << ps_ << " does not divide " << to_string(x.shape()));
+    const std::int64_t ph = h / ps_, pw = w / ps_;
+    const std::int64_t t = ph * pw, p = c * ps_ * ps_;
+    tensor out{shape_t{b, t, p}};
+    for (std::int64_t n = 0; n < b; ++n)
+      for (std::int64_t py = 0; py < ph; ++py)
+        for (std::int64_t px = 0; px < pw; ++px) {
+          const std::int64_t ti = py * pw + px;
+          for (std::int64_t ci = 0; ci < c; ++ci)
+            for (std::int64_t dy = 0; dy < ps_; ++dy)
+              for (std::int64_t dx = 0; dx < ps_; ++dx)
+                out.at(n, ti, (ci * ps_ + dy) * ps_ + dx) =
+                    x.at(n, ci, py * ps_ + dy, px * ps_ + dx);
+        }
+    return out;
+  }
+
+  std::vector<tensor> backward(const tensor& g, std::span<const tensor* const> in,
+                               const tensor&) const override {
+    const tensor& x = *in[0];
+    const std::int64_t b = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    const std::int64_t ph = h / ps_, pw = w / ps_;
+    tensor gx{x.shape()};
+    for (std::int64_t n = 0; n < b; ++n)
+      for (std::int64_t py = 0; py < ph; ++py)
+        for (std::int64_t px = 0; px < pw; ++px) {
+          const std::int64_t ti = py * pw + px;
+          for (std::int64_t ci = 0; ci < c; ++ci)
+            for (std::int64_t dy = 0; dy < ps_; ++dy)
+              for (std::int64_t dx = 0; dx < ps_; ++dx)
+                gx.at(n, ci, py * ps_ + dy, px * ps_ + dx) =
+                    g.at(n, ti, (ci * ps_ + dy) * ps_ + dx);
+        }
+    return {std::move(gx)};
+  }
+
+private:
+  std::int64_t ps_;
+};
+
+// [B,T,P] x [P,D] (+b) -> [B,T,D]; implemented by flattening tokens to rows.
+class token_linear_op final : public op {
+public:
+  explicit token_linear_op(bool with_bias) : with_bias_{with_bias} {}
+  std::string_view name() const override { return "token_linear"; }
+
+  tensor forward(std::span<const tensor* const> in) override {
+    PELTA_CHECK(in.size() == (with_bias_ ? 3u : 2u));
+    const tensor& x = *in[0];
+    const tensor& w = *in[1];
+    PELTA_CHECK_MSG(x.ndim() == 3 && w.ndim() == 2 && x.size(2) == w.size(0),
+                    "token_linear shapes " << to_string(x.shape()) << " x " << to_string(w.shape()));
+    const std::int64_t b = x.size(0), t = x.size(1), d = w.size(1);
+    tensor flat = x.reshape({b * t, x.size(2)});
+    tensor out = ops::matmul(flat, w);
+    if (with_bias_) {
+      const tensor& bias = *in[2];
+      PELTA_CHECK(bias.numel() == d);
+      for (std::int64_t r = 0; r < b * t; ++r)
+        for (std::int64_t c = 0; c < d; ++c) out.at(r, c) += bias[c];
+    }
+    return out.reshape({b, t, d});
+  }
+
+  std::vector<tensor> backward(const tensor& g, std::span<const tensor* const> in,
+                               const tensor&) const override {
+    const tensor& x = *in[0];
+    const tensor& w = *in[1];
+    const std::int64_t b = x.size(0), t = x.size(1), p = x.size(2), d = w.size(1);
+    tensor g2 = g.reshape({b * t, d});
+    tensor x2 = x.reshape({b * t, p});
+    std::vector<tensor> grads;
+    grads.push_back(ops::matmul(g2, ops::transpose2d(w)).reshape(x.shape()));
+    grads.push_back(ops::matmul(ops::transpose2d(x2), g2));
+    if (with_bias_) {
+      tensor gb{shape_t{d}};
+      for (std::int64_t r = 0; r < b * t; ++r)
+        for (std::int64_t c = 0; c < d; ++c) gb[c] += g2.at(r, c);
+      grads.push_back(std::move(gb));
+    }
+    return grads;
+  }
+
+private:
+  bool with_bias_;
+};
+
+}  // namespace
+
+op_ptr make_conv2d(std::int64_t stride, std::int64_t pad, bool with_bias) {
+  return std::make_unique<conv2d_op>(stride, pad, with_bias);
+}
+op_ptr make_maxpool2x2() { return std::make_unique<maxpool_op>(); }
+op_ptr make_global_avgpool() { return std::make_unique<global_avgpool_op>(); }
+op_ptr make_patchify(std::int64_t patch_size) { return std::make_unique<patchify_op>(patch_size); }
+op_ptr make_token_linear(bool with_bias) { return std::make_unique<token_linear_op>(with_bias); }
+
+}  // namespace pelta::ad

@@ -1,0 +1,28 @@
+// Spatial ops: convolution, pooling, ViT patch extraction.
+#pragma once
+
+#include "autodiff/op.h"
+
+namespace pelta::ad {
+
+/// 2-d convolution. Parents: (x [B,C,H,W], W [OC,C,KH,KW]) or
+/// (x, W, b [OC]) when with_bias. The zero `pad` models the padding
+/// operation the paper folds into the first shielded BiT layer.
+op_ptr make_conv2d(std::int64_t stride, std::int64_t pad, bool with_bias);
+
+/// 2x2 max pooling, stride 2. Parent: (x).
+op_ptr make_maxpool2x2();
+
+/// Global average pooling [B,C,H,W] -> [B,C]. Parent: (x).
+op_ptr make_global_avgpool();
+
+/// ViT patch extraction: [B,C,H,W] -> [B, T, P] with T = (H/ps)*(W/ps)
+/// patches of P = C*ps*ps features, row-major patch order. Parent: (x).
+op_ptr make_patchify(std::int64_t patch_size);
+
+/// Per-token linear map: [B,T,P] x [P,D] (+ [D]) -> [B,T,D]. Parents:
+/// (x, W) or (x, W, b). Used for the ViT embedding projection E and the
+/// q/k/v/output projections.
+op_ptr make_token_linear(bool with_bias);
+
+}  // namespace pelta::ad

@@ -1,0 +1,36 @@
+// Elementwise and activation ops (factory functions returning op_ptr).
+#pragma once
+
+#include "autodiff/op.h"
+
+namespace pelta::ad {
+
+/// a + b, identical shapes.
+op_ptr make_add();
+
+/// a + b where b's shape is a suffix of a's shape (bias / position-embedding
+/// broadcast); backward sums b's gradient over the leading dimensions.
+op_ptr make_add_broadcast();
+
+/// a ⊙ b, identical shapes.
+op_ptr make_mul();
+
+/// s * a for a compile-time-fixed scalar s.
+op_ptr make_scale(float s);
+
+/// s * (a + shift) for fixed scalars — the models' input normalization
+/// transform (dataset mean/std folding, e.g. (x - 0.5) * 4).
+op_ptr make_affine(float scale, float shift);
+
+op_ptr make_relu();
+
+/// GELU with the tanh approximation (as in ViT MLP blocks).
+op_ptr make_gelu();
+
+/// Softmax over the last dimension (attention probabilities).
+op_ptr make_softmax_lastdim();
+
+/// Log-softmax over the last dimension (classification head).
+op_ptr make_log_softmax_lastdim();
+
+}  // namespace pelta::ad

@@ -1,0 +1,34 @@
+// Linear-algebra and tensor-layout ops.
+#pragma once
+
+#include "autodiff/op.h"
+#include "tensor/shape.h"
+
+namespace pelta::ad {
+
+/// [M,K] x [K,N] -> [M,N].
+op_ptr make_matmul();
+
+/// Batched [B,M,K] x [B,K,N] -> [B,M,N] (attention scores / context).
+op_ptr make_bmm();
+
+/// [B,M,N] -> [B,N,M].
+op_ptr make_transpose_last2();
+
+/// View with a new shape (numel preserved).
+op_ptr make_reshape(shape_t new_shape);
+
+/// x[..., start : start+len] over the last dimension (per-head split).
+op_ptr make_slice_lastdim(std::int64_t start, std::int64_t len);
+
+/// Concatenate k parents along the last dimension (head merge).
+op_ptr make_concat_lastdim();
+
+/// Parents (token [D], tokens [B,T,D]) -> [B,T+1,D]; the learnable class
+/// token is broadcast across the batch and prepended as row 0 (ViT).
+op_ptr make_prepend_token();
+
+/// [B,T,D] -> [B,D], reading row `t` (class-token readout).
+op_ptr make_slice_row(std::int64_t t);
+
+}  // namespace pelta::ad

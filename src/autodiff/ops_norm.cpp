@@ -1,0 +1,373 @@
+#include "autodiff/ops_norm.h"
+
+#include <cmath>
+#include <mutex>
+
+namespace pelta::ad {
+
+namespace {
+
+// Running-statistics updates may race under data-parallel training shards;
+// a single global guard keeps them consistent (update order across shards
+// is unspecified, like distributed batch norm).
+std::mutex& bn_stats_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+namespace {
+
+// Shared helper: normalize `rows` rows of length `len` laid out contiguously;
+// writes xhat and per-row inv-sigma. Used by layernorm and weight-std.
+void normalize_rows(const float* x, float* xhat, float* inv_sigma, std::int64_t rows,
+                    std::int64_t len, float eps) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * len;
+    float* hr = xhat + r * len;
+    double mu = 0.0;
+    for (std::int64_t i = 0; i < len; ++i) mu += xr[i];
+    mu /= static_cast<double>(len);
+    double var = 0.0;
+    for (std::int64_t i = 0; i < len; ++i) {
+      const double d = xr[i] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(len);
+    const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    inv_sigma[r] = is;
+    for (std::int64_t i = 0; i < len; ++i)
+      hr[i] = (xr[i] - static_cast<float>(mu)) * is;
+  }
+}
+
+// Backward of row normalization: given s = upstream grad w.r.t. xhat,
+// dx = inv_sigma * (s - mean(s) - xhat * mean(s*xhat)).
+void normalize_rows_backward(const float* s, const float* xhat, const float* inv_sigma, float* dx,
+                             std::int64_t rows, std::int64_t len) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* sr = s + r * len;
+    const float* hr = xhat + r * len;
+    float* dr = dx + r * len;
+    double ms = 0.0, msh = 0.0;
+    for (std::int64_t i = 0; i < len; ++i) {
+      ms += sr[i];
+      msh += static_cast<double>(sr[i]) * hr[i];
+    }
+    ms /= static_cast<double>(len);
+    msh /= static_cast<double>(len);
+    for (std::int64_t i = 0; i < len; ++i)
+      dr[i] = inv_sigma[r] *
+              (sr[i] - static_cast<float>(ms) - hr[i] * static_cast<float>(msh));
+  }
+}
+
+class layernorm_op final : public op {
+public:
+  explicit layernorm_op(float eps) : eps_{eps} {}
+  std::string_view name() const override { return "layernorm"; }
+
+  tensor forward(std::span<const tensor* const> in) override {
+    PELTA_CHECK(in.size() == 3);
+    const tensor& x = *in[0];
+    const tensor& gamma = *in[1];
+    const tensor& beta = *in[2];
+    const std::int64_t d = x.size(-1);
+    PELTA_CHECK_MSG(gamma.numel() == d && beta.numel() == d, "layernorm affine shape mismatch");
+    const std::int64_t rows = x.numel() / d;
+    xhat_ = tensor{x.shape()};
+    inv_sigma_ = tensor{shape_t{rows}};
+    normalize_rows(x.data().data(), xhat_.data().data(), inv_sigma_.data().data(), rows, d, eps_);
+    tensor out{x.shape()};
+    auto ph = xhat_.data();
+    auto po = out.data();
+    auto pg = gamma.data();
+    auto pb = beta.data();
+    for (std::int64_t r = 0; r < rows; ++r)
+      for (std::int64_t i = 0; i < d; ++i)
+        po[static_cast<std::size_t>(r * d + i)] =
+            ph[static_cast<std::size_t>(r * d + i)] * pg[static_cast<std::size_t>(i)] +
+            pb[static_cast<std::size_t>(i)];
+    return out;
+  }
+
+  std::vector<tensor> backward(const tensor& g, std::span<const tensor* const> in,
+                               const tensor&) const override {
+    const tensor& x = *in[0];
+    const tensor& gamma = *in[1];
+    const std::int64_t d = x.size(-1);
+    const std::int64_t rows = x.numel() / d;
+
+    // s = g * gamma (grad w.r.t. xhat); dgamma = sum_rows g * xhat; dbeta = sum_rows g.
+    tensor s{x.shape()}, dgamma{gamma.shape()}, dbeta{gamma.shape()};
+    auto pg = g.data();
+    auto pga = gamma.data();
+    auto ph = xhat_.data();
+    auto ps = s.data();
+    for (std::int64_t r = 0; r < rows; ++r)
+      for (std::int64_t i = 0; i < d; ++i) {
+        const std::size_t idx = static_cast<std::size_t>(r * d + i);
+        ps[idx] = pg[idx] * pga[static_cast<std::size_t>(i)];
+        dgamma[i] += pg[idx] * ph[idx];
+        dbeta[i] += pg[idx];
+      }
+    tensor dx{x.shape()};
+    normalize_rows_backward(s.data().data(), xhat_.data().data(), inv_sigma_.data().data(),
+                            dx.data().data(), rows, d);
+    return {std::move(dx), std::move(dgamma), std::move(dbeta)};
+  }
+
+private:
+  float eps_;
+  tensor xhat_;       // cached forward state
+  tensor inv_sigma_;  // per-row 1/sigma
+};
+
+class batchnorm2d_op final : public op {
+public:
+  batchnorm2d_op(batchnorm_stats* stats, norm_mode mode, float momentum, float eps)
+      : stats_{stats}, mode_{mode}, momentum_{momentum}, eps_{eps} {
+    PELTA_CHECK_MSG(stats != nullptr, "batchnorm requires a stats buffer");
+  }
+  std::string_view name() const override { return "batchnorm2d"; }
+
+  tensor forward(std::span<const tensor* const> in) override {
+    PELTA_CHECK(in.size() == 3);
+    const tensor& x = *in[0];
+    const tensor& gamma = *in[1];
+    const tensor& beta = *in[2];
+    PELTA_CHECK_MSG(x.ndim() == 4, "batchnorm2d input " << to_string(x.shape()));
+    const std::int64_t b = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+    PELTA_CHECK(gamma.numel() == c && beta.numel() == c);
+    PELTA_CHECK(stats_->running_mean.numel() == c && stats_->running_var.numel() == c);
+
+    mean_ = tensor{shape_t{c}};
+    inv_sigma_ = tensor{shape_t{c}};
+    if (mode_ == norm_mode::train) {
+      const double n = static_cast<double>(b * hw);
+      tensor batch_var{shape_t{c}};
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        double mu = 0.0;
+        for (std::int64_t nb = 0; nb < b; ++nb) {
+          const float* base = x.data().data() + (nb * c + ch) * hw;
+          for (std::int64_t s = 0; s < hw; ++s) mu += base[s];
+        }
+        mu /= n;
+        double var = 0.0;
+        for (std::int64_t nb = 0; nb < b; ++nb) {
+          const float* base = x.data().data() + (nb * c + ch) * hw;
+          for (std::int64_t s = 0; s < hw; ++s) {
+            const double d = base[s] - mu;
+            var += d * d;
+          }
+        }
+        var /= n;
+        mean_[ch] = static_cast<float>(mu);
+        batch_var[ch] = static_cast<float>(var);
+        inv_sigma_[ch] = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      }
+      {
+        const std::lock_guard<std::mutex> lock{bn_stats_mutex()};
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          stats_->running_mean[ch] =
+              (1.0f - momentum_) * stats_->running_mean[ch] + momentum_ * mean_[ch];
+          stats_->running_var[ch] =
+              (1.0f - momentum_) * stats_->running_var[ch] + momentum_ * batch_var[ch];
+        }
+      }
+    } else {
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        mean_[ch] = stats_->running_mean[ch];
+        inv_sigma_[ch] = 1.0f / std::sqrt(stats_->running_var[ch] + eps_);
+      }
+    }
+
+    xhat_ = tensor{x.shape()};
+    tensor out{x.shape()};
+    for (std::int64_t nb = 0; nb < b; ++nb)
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        const float* base = x.data().data() + (nb * c + ch) * hw;
+        float* hb = xhat_.data().data() + (nb * c + ch) * hw;
+        float* ob = out.data().data() + (nb * c + ch) * hw;
+        const float mu = mean_[ch], is = inv_sigma_[ch], ga = gamma[ch], be = beta[ch];
+        for (std::int64_t s = 0; s < hw; ++s) {
+          hb[s] = (base[s] - mu) * is;
+          ob[s] = hb[s] * ga + be;
+        }
+      }
+    return out;
+  }
+
+  std::vector<tensor> backward(const tensor& g, std::span<const tensor* const> in,
+                               const tensor&) const override {
+    const tensor& x = *in[0];
+    const tensor& gamma = *in[1];
+    const std::int64_t b = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+    tensor dx{x.shape()}, dgamma{gamma.shape()}, dbeta{gamma.shape()};
+
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      double sum_g = 0.0, sum_gh = 0.0;
+      for (std::int64_t nb = 0; nb < b; ++nb) {
+        const float* gb = g.data().data() + (nb * c + ch) * hw;
+        const float* hb = xhat_.data().data() + (nb * c + ch) * hw;
+        for (std::int64_t s = 0; s < hw; ++s) {
+          sum_g += gb[s];
+          sum_gh += static_cast<double>(gb[s]) * hb[s];
+        }
+      }
+      dbeta[ch] = static_cast<float>(sum_g);
+      dgamma[ch] = static_cast<float>(sum_gh);
+
+      const float ga = gamma[ch], is = inv_sigma_[ch];
+      if (mode_ == norm_mode::train) {
+        const double n = static_cast<double>(b * hw);
+        const float mg = static_cast<float>(sum_g / n);
+        const float mgh = static_cast<float>(sum_gh / n);
+        for (std::int64_t nb = 0; nb < b; ++nb) {
+          const float* gb = g.data().data() + (nb * c + ch) * hw;
+          const float* hb = xhat_.data().data() + (nb * c + ch) * hw;
+          float* db = dx.data().data() + (nb * c + ch) * hw;
+          for (std::int64_t s = 0; s < hw; ++s)
+            db[s] = ga * is * (gb[s] - mg - hb[s] * mgh);
+        }
+      } else {
+        // Eval mode: statistics are constants; the transform is affine.
+        for (std::int64_t nb = 0; nb < b; ++nb) {
+          const float* gb = g.data().data() + (nb * c + ch) * hw;
+          float* db = dx.data().data() + (nb * c + ch) * hw;
+          for (std::int64_t s = 0; s < hw; ++s) db[s] = ga * is * gb[s];
+        }
+      }
+    }
+    return {std::move(dx), std::move(dgamma), std::move(dbeta)};
+  }
+
+private:
+  batchnorm_stats* stats_;  // non-owning; layer outlives the graph
+  norm_mode mode_;
+  float momentum_;
+  float eps_;
+  tensor mean_, inv_sigma_, xhat_;
+};
+
+class groupnorm_op final : public op {
+public:
+  groupnorm_op(std::int64_t groups, float eps) : groups_{groups}, eps_{eps} {
+    PELTA_CHECK(groups >= 1);
+  }
+  std::string_view name() const override { return "groupnorm"; }
+
+  tensor forward(std::span<const tensor* const> in) override {
+    PELTA_CHECK(in.size() == 3);
+    const tensor& x = *in[0];
+    const tensor& gamma = *in[1];
+    const tensor& beta = *in[2];
+    PELTA_CHECK(x.ndim() == 4);
+    const std::int64_t b = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+    PELTA_CHECK_MSG(c % groups_ == 0, "groupnorm: " << c << " channels not divisible by "
+                                                    << groups_ << " groups");
+    PELTA_CHECK(gamma.numel() == c && beta.numel() == c);
+    const std::int64_t cg = c / groups_;    // channels per group
+    const std::int64_t len = cg * hw;       // elements per (sample, group)
+    const std::int64_t rows = b * groups_;  // groups are contiguous in NCHW
+
+    xhat_ = tensor{x.shape()};
+    inv_sigma_ = tensor{shape_t{rows}};
+    normalize_rows(x.data().data(), xhat_.data().data(), inv_sigma_.data().data(), rows, len,
+                   eps_);
+
+    tensor out{x.shape()};
+    for (std::int64_t nb = 0; nb < b; ++nb)
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        const float* hb = xhat_.data().data() + (nb * c + ch) * hw;
+        float* ob = out.data().data() + (nb * c + ch) * hw;
+        const float ga = gamma[ch], be = beta[ch];
+        for (std::int64_t s = 0; s < hw; ++s) ob[s] = hb[s] * ga + be;
+      }
+    return out;
+  }
+
+  std::vector<tensor> backward(const tensor& g, std::span<const tensor* const> in,
+                               const tensor&) const override {
+    const tensor& x = *in[0];
+    const tensor& gamma = *in[1];
+    const std::int64_t b = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+    const std::int64_t cg = c / groups_;
+    const std::int64_t len = cg * hw;
+    const std::int64_t rows = b * groups_;
+
+    tensor s{x.shape()}, dgamma{gamma.shape()}, dbeta{gamma.shape()};
+    for (std::int64_t nb = 0; nb < b; ++nb)
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        const float* gb = g.data().data() + (nb * c + ch) * hw;
+        const float* hb = xhat_.data().data() + (nb * c + ch) * hw;
+        float* sb = s.data().data() + (nb * c + ch) * hw;
+        const float ga = gamma[ch];
+        double dg = 0.0, db = 0.0;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          sb[i] = gb[i] * ga;
+          dg += static_cast<double>(gb[i]) * hb[i];
+          db += gb[i];
+        }
+        dgamma[ch] += static_cast<float>(dg);
+        dbeta[ch] += static_cast<float>(db);
+      }
+
+    tensor dx{x.shape()};
+    normalize_rows_backward(s.data().data(), xhat_.data().data(), inv_sigma_.data().data(),
+                            dx.data().data(), rows, len);
+    return {std::move(dx), std::move(dgamma), std::move(dbeta)};
+  }
+
+private:
+  std::int64_t groups_;
+  float eps_;
+  tensor xhat_, inv_sigma_;
+};
+
+class weight_standardize_op final : public op {
+public:
+  explicit weight_standardize_op(float eps) : eps_{eps} {}
+  std::string_view name() const override { return "weight_standardize"; }
+
+  tensor forward(std::span<const tensor* const> in) override {
+    PELTA_CHECK(in.size() == 1);
+    const tensor& w = *in[0];
+    PELTA_CHECK_MSG(w.ndim() == 4, "weight_standardize on " << to_string(w.shape()));
+    const std::int64_t oc = w.size(0);
+    const std::int64_t len = w.numel() / oc;
+    xhat_ = tensor{w.shape()};
+    inv_sigma_ = tensor{shape_t{oc}};
+    normalize_rows(w.data().data(), xhat_.data().data(), inv_sigma_.data().data(), oc, len, eps_);
+    return xhat_;
+  }
+
+  std::vector<tensor> backward(const tensor& g, std::span<const tensor* const> in,
+                               const tensor&) const override {
+    const tensor& w = *in[0];
+    const std::int64_t oc = w.size(0);
+    const std::int64_t len = w.numel() / oc;
+    tensor dw{w.shape()};
+    normalize_rows_backward(g.data().data(), xhat_.data().data(), inv_sigma_.data().data(),
+                            dw.data().data(), oc, len);
+    return {std::move(dw)};
+  }
+
+private:
+  float eps_;
+  tensor xhat_, inv_sigma_;
+};
+
+}  // namespace
+
+op_ptr make_layernorm_lastdim(float eps) { return std::make_unique<layernorm_op>(eps); }
+op_ptr make_batchnorm2d(batchnorm_stats* stats, norm_mode mode, float momentum, float eps) {
+  return std::make_unique<batchnorm2d_op>(stats, mode, momentum, eps);
+}
+op_ptr make_groupnorm(std::int64_t groups, float eps) {
+  return std::make_unique<groupnorm_op>(groups, eps);
+}
+op_ptr make_weight_standardize(float eps) { return std::make_unique<weight_standardize_op>(eps); }
+
+}  // namespace pelta::ad

@@ -1,0 +1,36 @@
+// Normalization ops: layer norm, batch norm, group norm, weight
+// standardization (the BiT first-layer transform PELTA shields).
+#pragma once
+
+#include "autodiff/op.h"
+
+namespace pelta::ad {
+
+/// Layer normalization over the last dimension.
+/// Parents: (x [..., D], gamma [D], beta [D]).
+op_ptr make_layernorm_lastdim(float eps = 1e-5f);
+
+/// Running statistics owned by a batch-norm layer; the op reads (eval) or
+/// updates (train) them across passes. Non-owning pointers — the layer
+/// outlives every graph built from it.
+struct batchnorm_stats {
+  tensor running_mean;  ///< [C]
+  tensor running_var;   ///< [C]
+};
+
+enum class norm_mode : std::uint8_t { train, eval };
+
+/// 2-d batch normalization over [B, C, H, W], per channel.
+/// Parents: (x, gamma [C], beta [C]).
+op_ptr make_batchnorm2d(batchnorm_stats* stats, norm_mode mode, float momentum = 0.1f,
+                        float eps = 1e-5f);
+
+/// Group normalization over [B, C, H, W] with `groups` channel groups
+/// (BiT uses GN instead of BN). Parents: (x, gamma [C], beta [C]).
+op_ptr make_groupnorm(std::int64_t groups, float eps = 1e-5f);
+
+/// Weight standardization: per-output-filter zero-mean/unit-variance of a
+/// conv weight [OC, C, KH, KW] (Big Transfer first conv). Parent: (W).
+op_ptr make_weight_standardize(float eps = 1e-5f);
+
+}  // namespace pelta::ad

@@ -1,0 +1,66 @@
+#include "core/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pelta {
+
+std::string text_table::to_string() const {
+  std::vector<std::size_t> widths;
+  const auto grow = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 3;
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << c << std::string(widths[i] - c.size() + (i + 1 < widths.size() ? 3 : 0), ' ');
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) {
+    if (row.empty())
+      os << std::string(total, '-') << '\n';
+    else
+      emit(row);
+  }
+  return os.str();
+}
+
+std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string human_bytes(std::int64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024)
+    std::snprintf(buf, sizeof(buf), "%.2f MB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  else if (bytes >= 1024)
+    std::snprintf(buf, sizeof(buf), "%.1f KB", static_cast<double>(bytes) / 1024.0);
+  else
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  return buf;
+}
+
+std::string fixed(double v, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace pelta

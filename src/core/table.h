@@ -1,0 +1,31 @@
+// Plain-text table formatting for the benchmark binaries (paper-style rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pelta {
+
+class text_table {
+public:
+  void set_header(std::vector<std::string> cells) { header_ = std::move(cells); }
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void add_separator() { rows_.push_back({}); }  // empty row renders as a rule
+
+  std::string to_string() const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "57.2%" style percentage formatting (one decimal).
+std::string pct(double fraction);
+
+/// Human bytes: "15.16 MB" / "322.1 KB".
+std::string human_bytes(std::int64_t bytes);
+
+/// Fixed-precision float.
+std::string fixed(double v, int digits);
+
+}  // namespace pelta

@@ -1,0 +1,126 @@
+#include "defenses/encoding.h"
+
+#include <array>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace pelta::defenses {
+
+namespace {
+
+constexpr std::int64_t kBlock = 8;
+
+/// Orthonormal DCT-II basis: basis[u][x] = c(u) cos((2x+1) u pi / 16) with
+/// c(0) = sqrt(1/8), c(u>0) = sqrt(2/8) — so the matrix is unitary and the
+/// inverse transform is its transpose.
+const std::array<std::array<float, kBlock>, kBlock>& dct_basis() {
+  static const auto basis = [] {
+    std::array<std::array<float, kBlock>, kBlock> b{};
+    const double pi = std::acos(-1.0);
+    for (std::int64_t u = 0; u < kBlock; ++u) {
+      const double c = u == 0 ? std::sqrt(1.0 / kBlock) : std::sqrt(2.0 / kBlock);
+      for (std::int64_t x = 0; x < kBlock; ++x)
+        b[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)] =
+            static_cast<float>(c * std::cos((2.0 * static_cast<double>(x) + 1.0) *
+                                            static_cast<double>(u) * pi / (2.0 * kBlock)));
+    }
+    return b;
+  }();
+  return basis;
+}
+
+/// Standard JPEG luminance quantization table (Annex K of the spec).
+constexpr int kJpegLuminance[kBlock][kBlock] = {
+    {16, 11, 10, 16, 24, 40, 51, 61},   {12, 12, 14, 19, 26, 58, 60, 55},
+    {14, 13, 16, 24, 40, 57, 69, 56},   {14, 17, 22, 29, 51, 87, 80, 62},
+    {18, 22, 37, 56, 68, 109, 103, 77}, {24, 35, 55, 64, 81, 104, 113, 92},
+    {49, 64, 78, 87, 103, 121, 120, 101}, {72, 92, 95, 98, 112, 100, 103, 99}};
+
+void check_blockable(const tensor& image) {
+  PELTA_CHECK_MSG(image.ndim() == 3, "codec expects [C,H,W], got " << to_string(image.shape()));
+  PELTA_CHECK_MSG(image.size(1) % kBlock == 0 && image.size(2) % kBlock == 0,
+                  "image " << to_string(image.shape()) << " not a multiple of the 8x8 block size");
+}
+
+// out_block = L * in_block * R^T over one 8x8 block, with L/R either the
+// basis (forward) or its transpose (inverse).
+template <bool Forward>
+void transform_block(const tensor& src, tensor& dst, std::int64_t c, std::int64_t by,
+                     std::int64_t bx) {
+  const auto& basis = dct_basis();
+  float tmp[kBlock][kBlock];
+  // rows: tmp = B * src  (forward) or B^T * src (inverse)
+  for (std::int64_t u = 0; u < kBlock; ++u)
+    for (std::int64_t x = 0; x < kBlock; ++x) {
+      float acc = 0.0f;
+      for (std::int64_t k = 0; k < kBlock; ++k) {
+        const float b = Forward ? basis[static_cast<std::size_t>(u)][static_cast<std::size_t>(k)]
+                                : basis[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+        acc += b * src.at(c, by + k, bx + x);
+      }
+      tmp[u][x] = acc;
+    }
+  // columns: dst = tmp * B^T (forward) or tmp * B (inverse)
+  for (std::int64_t u = 0; u < kBlock; ++u)
+    for (std::int64_t v = 0; v < kBlock; ++v) {
+      float acc = 0.0f;
+      for (std::int64_t k = 0; k < kBlock; ++k) {
+        const float b = Forward ? basis[static_cast<std::size_t>(v)][static_cast<std::size_t>(k)]
+                                : basis[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
+        acc += tmp[u][k] * b;
+      }
+      dst.at(c, by + u, bx + v) = acc;
+    }
+}
+
+template <bool Forward>
+tensor transform_image(const tensor& image) {
+  check_blockable(image);
+  tensor out{image.shape()};
+  for (std::int64_t c = 0; c < image.size(0); ++c)
+    for (std::int64_t by = 0; by < image.size(1); by += kBlock)
+      for (std::int64_t bx = 0; bx < image.size(2); bx += kBlock)
+        transform_block<Forward>(image, out, c, by, bx);
+  return out;
+}
+
+}  // namespace
+
+tensor dct2_blockwise(const tensor& image) { return transform_image<true>(image); }
+
+tensor idct2_blockwise(const tensor& coefficients) { return transform_image<false>(coefficients); }
+
+jpeg_codec::jpeg_codec(std::int64_t quality) : quality_{quality} {
+  PELTA_CHECK_MSG(quality >= 1 && quality <= 100, "jpeg quality " << quality << " outside [1,100]");
+  name_ = "jpeg" + std::to_string(quality_);
+  // libjpeg quality->scale convention, then into [0,1] pixel units. The
+  // orthonormal 8x8 DCT of a 255-scaled image is 8x the JPEG convention's,
+  // which the /255 absorbs up to the fixed factor folded into the table.
+  const double scale = quality < 50 ? 5000.0 / static_cast<double>(quality)
+                                    : 200.0 - 2.0 * static_cast<double>(quality);
+  for (std::int64_t u = 0; u < kBlock; ++u)
+    for (std::int64_t v = 0; v < kBlock; ++v) {
+      double s = std::floor((kJpegLuminance[u][v] * scale + 50.0) / 100.0);
+      if (s < 1.0) s = 1.0;
+      table_[u][v] = static_cast<float>(s / 255.0);
+    }
+}
+
+float jpeg_codec::step(std::int64_t u, std::int64_t v) const {
+  PELTA_CHECK_MSG(u >= 0 && u < kBlock && v >= 0 && v < kBlock, "frequency index out of range");
+  return table_[u][v];
+}
+
+tensor jpeg_codec::apply(const tensor& image, rng& /*gen*/) const {
+  tensor coef = dct2_blockwise(image);
+  for (std::int64_t c = 0; c < coef.size(0); ++c)
+    for (std::int64_t y = 0; y < coef.size(1); ++y)
+      for (std::int64_t x = 0; x < coef.size(2); ++x) {
+        const float s = table_[y % kBlock][x % kBlock];
+        coef.at(c, y, x) = std::round(coef.at(c, y, x) / s) * s;
+      }
+  return ops::clamp(idct2_blockwise(coef), 0.0f, 1.0f);
+}
+
+}  // namespace pelta::defenses

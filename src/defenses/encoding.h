@@ -1,0 +1,46 @@
+// Encoding defense: JPEG-style lossy transform coding (the "encoding"
+// family of Ren et al. [47] named in §VII; Dziugaite et al. / Guo et al.
+// studied JPEG as an adversarial defense).
+//
+// Per channel, the image is cut into 8x8 blocks, each block is mapped to
+// frequency space with an orthonormal 2-D DCT-II, the coefficients are
+// divided by a quality-scaled quantization table and rounded (this is the
+// lossy step that discards the high-frequency adversarial signal), then
+// de-quantized and inverse-transformed. Rounding makes the codec a
+// shattered-gradient transform, so the BPDA attacker treats it as identity.
+#pragma once
+
+#include "defenses/preprocessor.h"
+
+namespace pelta::defenses {
+
+/// Blockwise orthonormal 2-D DCT-II of one [C,H,W] image (H, W multiples of
+/// 8). Exposed for tests: the transform must be unitary (Parseval) and must
+/// compact a constant block into its DC coefficient.
+tensor dct2_blockwise(const tensor& image);
+/// Inverse (DCT-III with the same normalization); exact round-trip.
+tensor idct2_blockwise(const tensor& coefficients);
+
+class jpeg_codec final : public preprocessor {
+public:
+  /// `quality` in [1, 100]; 100 keeps all coefficients at the finest grid,
+  /// lower values discard progressively more high-frequency content. The
+  /// quality->scale mapping follows the libjpeg convention.
+  explicit jpeg_codec(std::int64_t quality);
+
+  const std::string& name() const override { return name_; }
+  tensor apply(const tensor& image, rng& gen) const override;
+  bool randomized() const override { return false; }
+  bool differentiable() const override { return false; }
+
+  std::int64_t quality() const { return quality_; }
+  /// Quality-scaled quantization step for frequency (u, v) in the 8x8 grid.
+  float step(std::int64_t u, std::int64_t v) const;
+
+private:
+  std::int64_t quality_;
+  std::string name_;
+  float table_[8][8];  // scaled quantization steps, pixel-domain units
+};
+
+}  // namespace pelta::defenses

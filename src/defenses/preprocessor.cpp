@@ -1,0 +1,41 @@
+#include "defenses/preprocessor.h"
+
+#include "tensor/check.h"
+
+namespace pelta::defenses {
+
+bool preprocessor_chain::randomized() const {
+  for (const auto& s : stages_)
+    if (s->randomized()) return true;
+  return false;
+}
+
+bool preprocessor_chain::shatters_gradient() const {
+  for (const auto& s : stages_)
+    if (!s->differentiable()) return true;
+  return false;
+}
+
+std::string preprocessor_chain::describe() const {
+  if (stages_.empty()) return "none";
+  std::string out;
+  for (const auto& s : stages_) {
+    if (!out.empty()) out += "+";
+    out += s->name();
+  }
+  return out;
+}
+
+tensor preprocessor_chain::apply(const tensor& image, rng& gen) const {
+  tensor x = image;
+  for (const auto& s : stages_) {
+    tensor y = s->apply(x, gen);
+    PELTA_CHECK_MSG(y.shape() == x.shape(),
+                    "preprocessor " << s->name() << " changed shape " << to_string(x.shape())
+                                    << " -> " << to_string(y.shape()));
+    x = std::move(y);
+  }
+  return x;
+}
+
+}  // namespace pelta::defenses

@@ -1,0 +1,69 @@
+// Software input-transformation defenses (§II, §VII future work).
+//
+// The paper positions PELTA "not as a competitor algorithm ... but rather
+// as a supplementary hardware-reliant aid to existing protocols" and names
+// the three software families of Ren et al. [47] it should compose with:
+// randomization, quantization and encoding. This module implements one
+// representative of each family behind a common preprocessor interface, a
+// chain combinator, and the flags the attack side needs to mount the
+// standard counters (BPDA for shattered gradients, EOT for randomized
+// transforms — both from Athalye et al. [35], which the paper builds on).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace pelta::defenses {
+
+/// An inference-time input transformation applied before the model.
+class preprocessor {
+public:
+  virtual ~preprocessor() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Transform a [C,H,W] image in [0,1]; the result keeps shape and range.
+  /// Deterministic preprocessors ignore `gen`.
+  virtual tensor apply(const tensor& image, rng& gen) const = 0;
+
+  /// True when apply() consumes randomness — the EOT-relevant class.
+  virtual bool randomized() const = 0;
+
+  /// True when the transform has a usable analytic derivative. False marks
+  /// a "shattered gradient" (staircase / rounding) transform: the BPDA
+  /// attacker back-propagates through it as the identity.
+  virtual bool differentiable() const = 0;
+};
+
+/// Ordered composition of preprocessors (applied front to back).
+class preprocessor_chain {
+public:
+  preprocessor_chain() = default;
+
+  preprocessor_chain& add(std::unique_ptr<preprocessor> p) {
+    stages_.push_back(std::move(p));
+    return *this;
+  }
+
+  std::int64_t size() const { return static_cast<std::int64_t>(stages_.size()); }
+  bool empty() const { return stages_.empty(); }
+  const preprocessor& stage(std::int64_t i) const { return *stages_[static_cast<std::size_t>(i)]; }
+
+  /// Any stage randomized / any stage gradient-shattering.
+  bool randomized() const;
+  bool shatters_gradient() const;
+
+  /// "quantize+jpeg" style summary for table rows.
+  std::string describe() const;
+
+  tensor apply(const tensor& image, rng& gen) const;
+
+private:
+  std::vector<std::unique_ptr<preprocessor>> stages_;
+};
+
+}  // namespace pelta::defenses

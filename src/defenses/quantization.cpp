@@ -1,0 +1,20 @@
+#include "defenses/quantization.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace pelta::defenses {
+
+bit_depth_quantizer::bit_depth_quantizer(std::int64_t bits)
+    : bits_{bits}, levels_{(std::int64_t{1} << bits) - 1} {
+  PELTA_CHECK_MSG(bits >= 1 && bits <= 16, "quantizer bits " << bits << " outside [1,16]");
+  name_ = "quantize" + std::to_string(bits_);
+}
+
+tensor bit_depth_quantizer::apply(const tensor& image, rng& /*gen*/) const {
+  const float scale = static_cast<float>(levels_);
+  return ops::map(image, [scale](float x) { return std::round(x * scale) / scale; });
+}
+
+}  // namespace pelta::defenses

@@ -1,0 +1,32 @@
+// Quantization defense (feature squeezing, Xu et al.; the "quantization"
+// family of Ren et al. [47] named in §VII).
+//
+// Rounding every pixel to a b-bit grid removes the sub-quantum adversarial
+// signal and presents the attacker with a zero-gradient staircase — a
+// classic shattered-gradient defense, and therefore a classic BPDA target.
+#pragma once
+
+#include "defenses/preprocessor.h"
+
+namespace pelta::defenses {
+
+class bit_depth_quantizer final : public preprocessor {
+public:
+  /// `bits` in [1, 16]: pixels are rounded to 2^bits - 1 uniform levels.
+  explicit bit_depth_quantizer(std::int64_t bits);
+
+  const std::string& name() const override { return name_; }
+  tensor apply(const tensor& image, rng& gen) const override;
+  bool randomized() const override { return false; }
+  bool differentiable() const override { return false; }
+
+  std::int64_t bits() const { return bits_; }
+  std::int64_t levels() const { return levels_; }
+
+private:
+  std::int64_t bits_;
+  std::int64_t levels_;
+  std::string name_;
+};
+
+}  // namespace pelta::defenses

@@ -1,0 +1,76 @@
+#include "defenses/randomization.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace pelta::defenses {
+
+tensor resize_bilinear(const tensor& image, std::int64_t out_h, std::int64_t out_w) {
+  PELTA_CHECK_MSG(image.ndim() == 3, "resize expects [C,H,W], got " << to_string(image.shape()));
+  PELTA_CHECK_MSG(out_h >= 1 && out_w >= 1, "resize target " << out_h << "x" << out_w);
+  const std::int64_t channels = image.size(0);
+  const std::int64_t in_h = image.size(1);
+  const std::int64_t in_w = image.size(2);
+  tensor out{shape_t{channels, out_h, out_w}};
+
+  // Align-corners sampling; degenerate axes collapse to source index 0.
+  const float sy = out_h > 1 ? static_cast<float>(in_h - 1) / static_cast<float>(out_h - 1) : 0.0f;
+  const float sx = out_w > 1 ? static_cast<float>(in_w - 1) / static_cast<float>(out_w - 1) : 0.0f;
+  for (std::int64_t c = 0; c < channels; ++c)
+    for (std::int64_t y = 0; y < out_h; ++y) {
+      const float fy = static_cast<float>(y) * sy;
+      const std::int64_t y0 = static_cast<std::int64_t>(fy);
+      const std::int64_t y1 = std::min(y0 + 1, in_h - 1);
+      const float wy = fy - static_cast<float>(y0);
+      for (std::int64_t x = 0; x < out_w; ++x) {
+        const float fx = static_cast<float>(x) * sx;
+        const std::int64_t x0 = static_cast<std::int64_t>(fx);
+        const std::int64_t x1 = std::min(x0 + 1, in_w - 1);
+        const float wx = fx - static_cast<float>(x0);
+        const float top = (1.0f - wx) * image.at(c, y0, x0) + wx * image.at(c, y0, x1);
+        const float bot = (1.0f - wx) * image.at(c, y1, x0) + wx * image.at(c, y1, x1);
+        out.at(c, y, x) = (1.0f - wy) * top + wy * bot;
+      }
+    }
+  return out;
+}
+
+random_resize_pad::random_resize_pad(std::int64_t max_shrink) : max_shrink_{max_shrink} {
+  PELTA_CHECK_MSG(max_shrink >= 1, "max_shrink " << max_shrink << " must be >= 1");
+  name_ = "resize" + std::to_string(max_shrink_);
+}
+
+tensor random_resize_pad::apply(const tensor& image, rng& gen) const {
+  PELTA_CHECK_MSG(image.ndim() == 3, "expects [C,H,W], got " << to_string(image.shape()));
+  const std::int64_t h = image.size(1);
+  const std::int64_t w = image.size(2);
+  PELTA_CHECK_MSG(max_shrink_ < h && max_shrink_ < w,
+                  "max_shrink " << max_shrink_ << " too large for " << to_string(image.shape()));
+
+  const std::int64_t shrink = gen.uniform_int(0, max_shrink_);  // inclusive
+  if (shrink == 0) return image;
+  const tensor small = resize_bilinear(image, h - shrink, w - shrink);
+  const std::int64_t off_y = gen.uniform_int(0, shrink);
+  const std::int64_t off_x = gen.uniform_int(0, shrink);
+
+  tensor out{image.shape()};  // zero canvas
+  for (std::int64_t c = 0; c < image.size(0); ++c)
+    for (std::int64_t y = 0; y < h - shrink; ++y)
+      for (std::int64_t x = 0; x < w - shrink; ++x)
+        out.at(c, off_y + y, off_x + x) = small.at(c, y, x);
+  return out;
+}
+
+gaussian_noise::gaussian_noise(float stddev) : stddev_{stddev} {
+  PELTA_CHECK_MSG(stddev >= 0.0f, "noise stddev must be non-negative");
+  name_ = "noise";
+}
+
+tensor gaussian_noise::apply(const tensor& image, rng& gen) const {
+  tensor out = image;
+  for (float& x : out.data()) x = x + gen.normal(0.0f, stddev_);
+  return ops::clamp(out, 0.0f, 1.0f);
+}
+
+}  // namespace pelta::defenses

@@ -1,0 +1,54 @@
+// Randomization defenses (the family of Ren et al. [47]; the paper's §II
+// already notes FL work re-using inference-time randomization [34] and the
+// reservations of Athalye et al. [35] about it — which our EOT attacker
+// makes measurable).
+//
+//   * random_resize_pad — Xie et al. (ICLR'18): bilinearly shrink to a
+//     random size, paste at a random offset of a zero canvas. Differentiable
+//     but randomized: a single gradient sample is noisy; EOT averages it out.
+//   * gaussian_noise    — additive input noise, clamped to [0,1].
+#pragma once
+
+#include "defenses/preprocessor.h"
+
+namespace pelta::defenses {
+
+/// General bilinear resize of a [C,H,W] image to (out_h, out_w) with
+/// align-corners sampling. Exposed for tests and shared with the codec.
+tensor resize_bilinear(const tensor& image, std::int64_t out_h, std::int64_t out_w);
+
+class random_resize_pad final : public preprocessor {
+public:
+  /// Shrinks to a uniformly drawn side in [H - max_shrink, H] and pads back
+  /// to HxW at a uniform offset. max_shrink must be >= 1.
+  explicit random_resize_pad(std::int64_t max_shrink);
+
+  const std::string& name() const override { return name_; }
+  tensor apply(const tensor& image, rng& gen) const override;
+  bool randomized() const override { return true; }
+  bool differentiable() const override { return true; }
+
+  std::int64_t max_shrink() const { return max_shrink_; }
+
+private:
+  std::int64_t max_shrink_;
+  std::string name_;
+};
+
+class gaussian_noise final : public preprocessor {
+public:
+  explicit gaussian_noise(float stddev);
+
+  const std::string& name() const override { return name_; }
+  tensor apply(const tensor& image, rng& gen) const override;
+  bool randomized() const override { return true; }
+  bool differentiable() const override { return true; }
+
+  float stddev() const { return stddev_; }
+
+private:
+  float stddev_;
+  std::string name_;
+};
+
+}  // namespace pelta::defenses

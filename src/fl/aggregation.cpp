@@ -1,0 +1,150 @@
+#include "fl/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pelta::fl {
+
+const char* aggregation_rule_name(aggregation_rule rule) {
+  switch (rule) {
+    case aggregation_rule::fedavg: return "FedAvg";
+    case aggregation_rule::coordinate_median: return "coordinate median";
+    case aggregation_rule::trimmed_mean: return "trimmed mean";
+    case aggregation_rule::norm_clipped_mean: return "norm-clipped mean";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<tensor> decode_state(const byte_buffer& buf) {
+  std::vector<tensor> out;
+  std::size_t offset = 0;
+  while (offset < buf.size()) out.push_back(deserialize_tensor(buf, offset));
+  return out;
+}
+
+void check_structure(const std::vector<tensor>& reference, const std::vector<tensor>& update,
+                     std::int64_t client_id) {
+  PELTA_CHECK_MSG(reference.size() == update.size(),
+                  "update from client " << client_id << " has mismatched tensor count");
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    PELTA_CHECK_MSG(update[i].same_shape(reference[i]),
+                    "update from client " << client_id << " has mismatched structure");
+}
+
+byte_buffer encode_state(const std::vector<tensor>& tensors) {
+  byte_buffer out;
+  for (const tensor& t : tensors) serialize_tensor(t, out);
+  return out;
+}
+
+double delta_norm(const std::vector<tensor>& state, const std::vector<tensor>& reference) {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i)
+    for (std::int64_t j = 0; j < state[i].numel(); ++j) {
+      const double d = static_cast<double>(state[i][j]) - static_cast<double>(reference[i][j]);
+      sq += d * d;
+    }
+  return std::sqrt(sq);
+}
+
+}  // namespace
+
+byte_buffer aggregate_states(const byte_buffer& reference,
+                             const std::vector<model_update>& updates,
+                             const aggregation_config& config) {
+  PELTA_CHECK_MSG(!updates.empty(), "aggregate_states() without updates");
+  const std::vector<tensor> ref = decode_state(reference);
+
+  std::vector<std::vector<tensor>> states;
+  states.reserve(updates.size());
+  std::int64_t total_samples = 0;
+  for (const model_update& u : updates) {
+    PELTA_CHECK_MSG(u.sample_count > 0, "update with non-positive sample count");
+    total_samples += u.sample_count;
+    states.push_back(decode_state(u.parameters));
+    check_structure(ref, states.back(), u.client_id);
+  }
+  const std::size_t n = states.size();
+
+  std::vector<tensor> out;
+  out.reserve(ref.size());
+  for (const tensor& t : ref) out.emplace_back(t.shape());
+
+  switch (config.rule) {
+    case aggregation_rule::fedavg: {
+      for (std::size_t c = 0; c < n; ++c) {
+        const float w = static_cast<float>(updates[c].sample_count) /
+                        static_cast<float>(total_samples);
+        for (std::size_t i = 0; i < out.size(); ++i) out[i].add_scaled_(states[c][i], w);
+      }
+      break;
+    }
+    case aggregation_rule::coordinate_median: {
+      std::vector<float> column(n);
+      for (std::size_t i = 0; i < out.size(); ++i)
+        for (std::int64_t j = 0; j < out[i].numel(); ++j) {
+          for (std::size_t c = 0; c < n; ++c) column[c] = states[c][i][j];
+          const std::size_t mid = n / 2;
+          std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid),
+                           column.end());
+          float median = column[mid];
+          if (n % 2 == 0) {
+            // lower middle = max of the first half after partition
+            const float lower =
+                *std::max_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid));
+            median = 0.5f * (median + lower);
+          }
+          out[i][j] = median;
+        }
+      break;
+    }
+    case aggregation_rule::trimmed_mean: {
+      PELTA_CHECK_MSG(config.trim_fraction >= 0.0f && config.trim_fraction < 0.5f,
+                      "trim_fraction " << config.trim_fraction << " outside [0, 0.5)");
+      std::size_t k =
+          static_cast<std::size_t>(std::floor(static_cast<double>(n) * config.trim_fraction));
+      if (k == 0 && n >= 3) k = 1;
+      PELTA_CHECK_MSG(2 * k < n, "trimming discards every update (n=" << n << ", k=" << k << ")");
+      std::vector<float> column(n);
+      const float inv = 1.0f / static_cast<float>(n - 2 * k);
+      for (std::size_t i = 0; i < out.size(); ++i)
+        for (std::int64_t j = 0; j < out[i].numel(); ++j) {
+          for (std::size_t c = 0; c < n; ++c) column[c] = states[c][i][j];
+          std::sort(column.begin(), column.end());
+          float acc = 0.0f;
+          for (std::size_t c = k; c < n - k; ++c) acc += column[c];
+          out[i][j] = acc * inv;
+        }
+      break;
+    }
+    case aggregation_rule::norm_clipped_mean: {
+      std::vector<double> norms(n);
+      for (std::size_t c = 0; c < n; ++c) norms[c] = delta_norm(states[c], ref);
+      double cap = static_cast<double>(config.clip_norm);
+      if (cap <= 0.0) {
+        std::vector<double> sorted = norms;
+        std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                         sorted.end());
+        cap = sorted[n / 2];
+        if (cap <= 0.0) cap = 1.0;  // all updates identical to global: no-op clip
+      }
+      // out = ref + weighted mean of clipped deltas
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = ref[i];
+      for (std::size_t c = 0; c < n; ++c) {
+        const float w = static_cast<float>(updates[c].sample_count) /
+                        static_cast<float>(total_samples);
+        const float scale =
+            norms[c] > cap ? static_cast<float>(cap / norms[c]) : 1.0f;
+        for (std::size_t i = 0; i < out.size(); ++i)
+          for (std::int64_t j = 0; j < out[i].numel(); ++j)
+            out[i][j] += w * scale * (states[c][i][j] - ref[i][j]);
+      }
+      break;
+    }
+  }
+  return encode_state(out);
+}
+
+}  // namespace pelta::fl

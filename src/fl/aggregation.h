@@ -1,0 +1,50 @@
+// Aggregation rules for the FL server.
+//
+// The paper's motivation (§I) is that compromised clients weaponize
+// adversarial examples into poisoning and backdoor attacks ([15] model
+// replacement, [16] the adversarial lens on FL). A production FL substrate
+// therefore ships Byzantine-robust aggregation alongside plain FedAvg;
+// these rules are the standard trio evaluated by that literature, and the
+// poisoning bench measures how each interacts with PELTA's client-side
+// mitigation.
+//
+//   fedavg            — sample-count weighted mean (baseline; no defense)
+//   coordinate_median — per-coordinate median across clients
+//   trimmed_mean      — per-coordinate mean after dropping the k highest
+//                       and k lowest values
+//   norm_clipped_mean — each client's delta from the current global model
+//                       is l2-clipped before the weighted mean (caps the
+//                       boost of model-replacement attacks)
+#pragma once
+
+#include "fl/client.h"
+
+namespace pelta::fl {
+
+enum class aggregation_rule : std::uint8_t {
+  fedavg,
+  coordinate_median,
+  trimmed_mean,
+  norm_clipped_mean,
+};
+
+const char* aggregation_rule_name(aggregation_rule rule);
+
+struct aggregation_config {
+  aggregation_rule rule = aggregation_rule::fedavg;
+  /// trimmed_mean: fraction trimmed from EACH side; floor(n * fraction)
+  /// values are dropped per end (at least one when n >= 3).
+  float trim_fraction = 0.2f;
+  /// norm_clipped_mean: per-update delta l2 cap; <= 0 selects the median of
+  /// the client delta norms (self-tuning, no magic constant).
+  float clip_norm = 0.0f;
+};
+
+/// Aggregate `updates` (snapshot_state payloads) into a fresh state buffer.
+/// `reference` is the current global state — it defines the tensor
+/// structure and anchors delta-based rules. All updates must match it.
+byte_buffer aggregate_states(const byte_buffer& reference,
+                             const std::vector<model_update>& updates,
+                             const aggregation_config& config);
+
+}  // namespace pelta::fl

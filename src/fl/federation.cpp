@@ -1,0 +1,78 @@
+#include "fl/federation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pelta::fl {
+
+federation::federation(const federation_config& config, const model_factory& factory,
+                       const data::dataset& ds)
+    : config_{config}, dataset_{&ds}, server_{factory()} {
+  PELTA_CHECK_MSG(config.clients >= 1, "federation needs at least one client");
+  PELTA_CHECK_MSG(config.compromised >= 0 && config.compromised <= config.clients,
+                  "compromised count out of range");
+
+  sharding_config sharding = config.sharding;
+  sharding.seed = config.seed;
+  std::vector<std::vector<std::int64_t>> shards = make_shards(ds, config.clients, sharding);
+  for (std::int64_t c = 0; c < config.clients; ++c) {
+    const bool malicious = c >= config.clients - config.compromised;
+    if (malicious)
+      clients_.push_back(std::make_unique<compromised_client>(
+          c, factory(), std::move(shards[static_cast<std::size_t>(c)]), ds));
+    else
+      clients_.push_back(std::make_unique<fl_client>(
+          c, factory(), std::move(shards[static_cast<std::size_t>(c)]), ds));
+  }
+}
+
+std::vector<fl_client*> federation::sample_round_participants() {
+  PELTA_CHECK_MSG(config_.participation > 0.0f && config_.participation <= 1.0f,
+                  "participation " << config_.participation << " outside (0, 1]");
+  std::vector<fl_client*> all;
+  for (auto& client : clients_) all.push_back(client.get());
+  const auto wanted = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(config_.participation *
+                                                static_cast<float>(all.size()))));
+  if (wanted >= static_cast<std::int64_t>(all.size())) return all;
+  rng round_gen{config_.seed ^ (0xab5e17u + static_cast<std::uint64_t>(server_.round()) * 131)};
+  std::shuffle(all.begin(), all.end(), round_gen.engine());
+  all.resize(static_cast<std::size_t>(wanted));
+  return all;
+}
+
+void federation::run_round() {
+  const byte_buffer global = server_.broadcast();
+  const std::vector<fl_client*> participants = sample_round_participants();
+  std::vector<model_update> updates;
+  updates.reserve(participants.size());
+  for (fl_client* client : participants) {
+    network_.record(static_cast<std::int64_t>(global.size()));  // broadcast leg
+    client->receive_global(global);
+    local_train_config local = config_.local;
+    local.seed = config_.seed + static_cast<std::uint64_t>(server_.round());
+    model_update u = client->local_update(local);
+    network_.record(static_cast<std::int64_t>(u.parameters.size()));  // upload leg
+    updates.push_back(std::move(u));
+  }
+  server_.aggregate(updates, config_.aggregation);
+}
+
+void federation::run_rounds(std::int64_t rounds) {
+  for (std::int64_t r = 0; r < rounds; ++r) run_round();
+}
+
+std::vector<compromised_client*> federation::compromised_clients() {
+  std::vector<compromised_client*> out;
+  for (auto& client : clients_)
+    if (auto* cc = dynamic_cast<compromised_client*>(client.get())) out.push_back(cc);
+  return out;
+}
+
+float federation::global_test_accuracy() const {
+  return models::accuracy(server_.global_model(), dataset_->test_images(),
+                          dataset_->test_labels());
+}
+
+}  // namespace pelta::fl

@@ -1,0 +1,63 @@
+// Round orchestration for a star-topology federation (Fig. 1): the trusted
+// server broadcasts, clients (one of which may be compromised) train
+// locally, updates flow back for FedAvg. All traffic is metered through the
+// network simulator.
+#pragma once
+
+#include <functional>
+
+#include "fl/server.h"
+#include "fl/sharding.h"
+
+namespace pelta::fl {
+
+using model_factory = std::function<std::unique_ptr<models::model>()>;
+
+struct federation_config {
+  std::int64_t clients = 4;
+  std::int64_t compromised = 1;  ///< the last `compromised` clients are malicious
+  local_train_config local;
+  sharding_config sharding;      ///< iid / by-class / dirichlet (fl/sharding.h)
+  aggregation_config aggregation;///< FedAvg / robust rules (fl/aggregation.h)
+  /// Fraction of clients sampled per round (at least one). Real edge
+  /// deployments "harness the idle state of edge devices to handle
+  /// intermittent compute node availability" (§VI, [67]) — a round only
+  /// ever reaches the currently available subset.
+  float participation = 1.0f;
+  std::uint64_t seed = 23;
+};
+
+class federation {
+public:
+  /// Shards the dataset's train split across clients per config.sharding.
+  federation(const federation_config& config, const model_factory& factory,
+             const data::dataset& ds);
+
+  /// One FL round: broadcast -> local training -> aggregate.
+  void run_round();
+  void run_rounds(std::int64_t rounds);
+
+  fl_server& server() { return server_; }
+  std::int64_t client_count() const { return static_cast<std::int64_t>(clients_.size()); }
+  fl_client& client(std::int64_t i) { return *clients_[static_cast<std::size_t>(i)]; }
+
+  /// The compromised clients (empty when config.compromised == 0).
+  std::vector<compromised_client*> compromised_clients();
+
+  const network_stats& traffic() const { return network_.stats(); }
+
+  /// Global-model accuracy on the dataset's test split.
+  float global_test_accuracy() const;
+
+private:
+  /// The clients available this round (all of them at participation = 1).
+  std::vector<fl_client*> sample_round_participants();
+
+  federation_config config_;
+  const data::dataset* dataset_;
+  fl_server server_;
+  std::vector<std::unique_ptr<fl_client>> clients_;
+  network network_;
+};
+
+}  // namespace pelta::fl

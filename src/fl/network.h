@@ -1,0 +1,43 @@
+// In-process star-topology network simulator for the FL substrate.
+//
+// Transfers are instantaneous in wall-clock terms; the simulator accounts
+// message counts, bytes on the wire and a modeled latency (per-message RTT
+// plus per-byte bandwidth cost), which the §VI overhead bench reports
+// alongside the TEE costs.
+#pragma once
+
+#include <cstdint>
+
+namespace pelta::fl {
+
+struct network_stats {
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  double simulated_ns = 0.0;
+};
+
+class network {
+public:
+  /// Defaults model a ~1 Gbps link with 2 ms round-trip latency.
+  explicit network(double ns_per_byte = 8.0, double per_message_ns = 2e6)
+      : ns_per_byte_{ns_per_byte}, per_message_ns_{per_message_ns} {}
+
+  /// Record one message of `bytes` payload; returns its simulated latency.
+  double record(std::int64_t bytes) {
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    const double ns = per_message_ns_ + ns_per_byte_ * static_cast<double>(bytes);
+    stats_.simulated_ns += ns;
+    return ns;
+  }
+
+  const network_stats& stats() const { return stats_; }
+  void reset() { stats_ = {}; }
+
+private:
+  double ns_per_byte_;
+  double per_message_ns_;
+  network_stats stats_;
+};
+
+}  // namespace pelta::fl

@@ -1,0 +1,124 @@
+// Poisoning and backdoor clients — the attacks the paper's introduction
+// motivates PELTA with.
+//
+// §I: a malicious client "initiates a poisoning attack that can break a
+// model's robustness by sending the central server updates that stem from
+// inference on samples engineered with a trojan trigger to create an
+// unsuspected backdoor [Bagdasaryan et al.]", or has "the model
+// purposefully and repeatedly misclassify their newfound adversarial
+// examples to severely undermine the quality of the aggregated updates
+// [Bhagoji et al.]". Two malicious client types implement those stories:
+//
+//   backdoor_client       — trigger-stamped samples relabelled to a target
+//                           class, with optional model-replacement boosting
+//                           (the [15] attack); measured by the backdoor
+//                           success rate on triggered test images.
+//   evasion_poison_client — crafts adversarial examples against its own
+//                           local copy each round (the probe PELTA blocks)
+//                           and trains them under the wrong label so every
+//                           federation member inherits the misclassification.
+//                           With PELTA, the probe only yields the upsampled
+//                           adjoint and the poison loses its aim.
+#pragma once
+
+#include "fl/client.h"
+
+namespace pelta::fl {
+
+/// Square trigger stamped into the bottom-right corner, all channels. The
+/// default size of 4 aligns with one ViT patch — a maximally salient token
+/// for transformer defenders (any size works for CNNs).
+struct trigger_pattern {
+  std::int64_t size = 4;
+  float value = 1.0f;
+};
+
+/// Stamp `trigger` onto a copy of `image` [C,H,W].
+tensor apply_trigger(const tensor& image, const trigger_pattern& trigger);
+
+struct backdoor_config {
+  trigger_pattern trigger;
+  std::int64_t target_class = 0;
+  /// Fraction of each local mini-batch that is trigger-stamped + relabelled.
+  /// Kept small by default: an aggressive fraction wrecks the malicious
+  /// client's clean accuracy, which both weakens the embedded trigger after
+  /// aggregation and gives the attack away (Bagdasaryan et al.'s stealth
+  /// argument).
+  float poison_fraction = 0.25f;
+  /// Model replacement: upload θ_g + boost (θ_local − θ_g); 1 = no boost.
+  float boost = 1.0f;
+  /// The attacker trains extra_epochs_factor × the honest epoch budget
+  /// before boosting. Boosting an *unconverged* delta amplifies its noise,
+  /// wrecks the global clean accuracy, and the honest repair work of the
+  /// next round erases the trigger; converging first is what makes model
+  /// replacement both stealthy and persistent (Bagdasaryan et al.).
+  std::int64_t extra_epochs_factor = 3;
+};
+
+class backdoor_client final : public fl_client {
+public:
+  backdoor_client(std::int64_t id, std::unique_ptr<models::model> local_model,
+                  std::vector<std::int64_t> shard, const data::dataset& ds,
+                  const backdoor_config& config);
+
+  void receive_global(const byte_buffer& global_parameters) override;
+  model_update local_update(const local_train_config& config) override;
+
+  const backdoor_config& attack_config() const { return config_; }
+
+private:
+  backdoor_config config_;
+  byte_buffer last_global_;  ///< anchor for the model-replacement boost
+};
+
+/// Fraction of triggered test images (whose true label differs from the
+/// target) the model classifies as the backdoor target.
+float backdoor_success_rate(const models::model& m, const data::dataset& ds,
+                            const backdoor_config& config, std::int64_t max_samples = 200);
+
+struct evasion_poison_config {
+  attacks::suite_params params;      ///< attack budget of the probe
+  bool shielded = false;             ///< PELTA on this device?
+  std::int64_t crafts_per_round = 8; ///< adversarial samples forged per round
+  std::uint64_t seed = 97;
+};
+
+class evasion_poison_client final : public fl_client {
+public:
+  evasion_poison_client(std::int64_t id, std::unique_ptr<models::model> local_model,
+                        std::vector<std::int64_t> shard, const data::dataset& ds,
+                        const evasion_poison_config& config);
+
+  model_update local_update(const local_train_config& config) override;
+
+  /// One successfully "newfound" adversarial example: the attacker adopts
+  /// the wrong class its local copy already predicts and reinforces it
+  /// through training, so the misclassification survives aggregation and
+  /// replays against every other member's copy.
+  struct replay_sample {
+    tensor x_adv;
+    std::int64_t true_label = -1;
+    std::int64_t adopted_label = -1;  ///< the local copy's wrong prediction
+  };
+
+  const std::vector<replay_sample>& replay_set() const { return replay_; }
+  /// Probe attempts so far (successful or not) — the denominator of the
+  /// end-to-end poisoning rate. With PELTA most attempts fail, leaving the
+  /// attacker nothing to reinforce.
+  std::int64_t craft_attempts() const { return craft_attempts_; }
+
+private:
+  evasion_poison_config config_;
+  std::vector<replay_sample> replay_;
+  std::int64_t craft_attempts_ = 0;
+};
+
+/// End-to-end poisoning success: the fraction of ALL probe attempts whose
+/// replay sample the final model still misclassifies (higher favors the
+/// attacker; failed crafts count against the attacker — they produced
+/// nothing to replay).
+float replay_attack_rate(const models::model& m,
+                         const std::vector<evasion_poison_client::replay_sample>& replay,
+                         std::int64_t craft_attempts);
+
+}  // namespace pelta::fl

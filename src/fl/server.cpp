@@ -1,0 +1,24 @@
+#include "fl/server.h"
+
+#include "fl/state.h"
+
+namespace pelta::fl {
+
+fl_server::fl_server(std::unique_ptr<models::model> global_model)
+    : model_{std::move(global_model)} {
+  PELTA_CHECK_MSG(model_ != nullptr, "server needs a global model");
+}
+
+byte_buffer fl_server::broadcast() const { return snapshot_state(*model_); }
+
+void fl_server::aggregate(const std::vector<model_update>& updates) {
+  aggregate(updates, aggregation_config{});  // default rule: FedAvg
+}
+
+void fl_server::aggregate(const std::vector<model_update>& updates,
+                          const aggregation_config& config) {
+  install_state(*model_, aggregate_states(snapshot_state(*model_), updates, config));
+  ++round_;
+}
+
+}  // namespace pelta::fl

@@ -1,0 +1,36 @@
+// Trusted FL server: broadcasts the global model, aggregates client updates
+// with FedAvg (weighted by local sample counts).
+#pragma once
+
+#include <memory>
+
+#include "fl/aggregation.h"
+#include "fl/client.h"
+
+namespace pelta::fl {
+
+class fl_server {
+public:
+  explicit fl_server(std::unique_ptr<models::model> global_model);
+
+  models::model& global_model() { return *model_; }
+  const models::model& global_model() const { return *model_; }
+
+  /// Serialized global parameters (the broadcast payload).
+  byte_buffer broadcast() const;
+
+  /// FedAvg: θ ← Σ_i (n_i / n) θ_i over the received updates.
+  void aggregate(const std::vector<model_update>& updates);
+
+  /// Aggregate under an explicit rule (Byzantine-robust variants included;
+  /// see fl/aggregation.h).
+  void aggregate(const std::vector<model_update>& updates, const aggregation_config& config);
+
+  std::int64_t round() const { return round_; }
+
+private:
+  std::unique_ptr<models::model> model_;
+  std::int64_t round_ = 0;
+};
+
+}  // namespace pelta::fl

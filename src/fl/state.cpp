@@ -1,0 +1,27 @@
+#include "fl/state.h"
+
+namespace pelta::fl {
+
+byte_buffer snapshot_state(const models::model& m) {
+  byte_buffer out = m.params().save_values();
+  for (const ad::batchnorm_stats* s : m.batchnorm_buffers()) {
+    serialize_tensor(s->running_mean, out);
+    serialize_tensor(s->running_var, out);
+  }
+  return out;
+}
+
+void install_state(models::model& m, const byte_buffer& buf) {
+  std::size_t offset = m.params().load_values_at(buf, 0);
+  for (ad::batchnorm_stats* s : m.batchnorm_buffers()) {
+    tensor mean = deserialize_tensor(buf, offset);
+    tensor var = deserialize_tensor(buf, offset);
+    PELTA_CHECK_MSG(mean.same_shape(s->running_mean) && var.same_shape(s->running_var),
+                    "batch-norm buffer shape mismatch on install");
+    s->running_mean = std::move(mean);
+    s->running_var = std::move(var);
+  }
+  PELTA_CHECK_MSG(offset == buf.size(), "trailing bytes in model-state payload");
+}
+
+}  // namespace pelta::fl

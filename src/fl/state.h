@@ -1,0 +1,19 @@
+// Full model state on the FL wire: trainable parameters followed by
+// batch-norm running statistics. Aggregating only the parameters would
+// leave the global model with untrained BN statistics — the classic
+// BN-in-FL pitfall — so broadcast, upload and FedAvg all carry both.
+#pragma once
+
+#include "models/model.h"
+#include "tensor/serialize.h"
+
+namespace pelta::fl {
+
+/// Serialize parameters + BN buffers of `m`.
+byte_buffer snapshot_state(const models::model& m);
+
+/// Install a snapshot produced by snapshot_state on an identically
+/// structured model.
+void install_state(models::model& m, const byte_buffer& buf);
+
+}  // namespace pelta::fl

@@ -1,0 +1,41 @@
+// Model checkpointing — durable persistence of a trained model's full
+// state (parameters + batch-norm running statistics).
+//
+// The FL wire format (fl/state.h) is transient by design; checkpoints are
+// what a deployment stores between sessions: examples and downstream users
+// train once and reload, and a defender can pin the exact weights whose
+// frontier the enclave protects. The format is versioned, self-describing
+// (architecture name + per-tensor shapes) and integrity-checked, so a
+// corrupted or mismatched file fails loudly instead of silently degrading
+// the model.
+//
+// Layout (little-endian):
+//   magic "PELTACKP" | u32 version | u32 name length | name bytes
+//   | u64 payload length | payload (serialized tensors: params in creation
+//   order, then BN buffers) | u64 FNV-1a checksum of the payload
+#pragma once
+
+#include <string>
+
+#include "models/model.h"
+
+namespace pelta::models {
+
+/// Raised on any malformed, truncated, corrupted or mismatched checkpoint.
+class checkpoint_error : public error {
+public:
+  using error::error;
+};
+
+/// Write `m`'s full state to `path` (overwrites).
+void save_checkpoint(const model& m, const std::string& path);
+
+/// Restore a checkpoint into an identically-architected model. The stored
+/// architecture name must match m.name() unless `ignore_name` is set
+/// (loading "ViT-B/16" weights into a model registered under another label).
+void load_checkpoint(model& m, const std::string& path, bool ignore_name = false);
+
+/// Architecture name recorded in a checkpoint (cheap header read).
+std::string checkpoint_model_name(const std::string& path);
+
+}  // namespace pelta::models

@@ -1,0 +1,34 @@
+#include "models/filters.h"
+
+#include "autodiff/ops_conv.h"
+#include "autodiff/ops_elementwise.h"
+
+namespace pelta::models {
+
+namespace {
+
+tensor box_blur_kernel(std::int64_t channels) {
+  tensor w{shape_t{channels, channels, 3, 3}};
+  for (std::int64_t c = 0; c < channels; ++c)
+    for (std::int64_t ky = 0; ky < 3; ++ky)
+      for (std::int64_t kx = 0; kx < 3; ++kx) w.at(c, c, ky, kx) = 1.0f / 9.0f;
+  return w;
+}
+
+}  // namespace
+
+ad::node_id apply_box_blur(ad::graph& g, ad::node_id x, std::int64_t channels,
+                           const std::string& tag) {
+  const ad::node_id w = g.add_constant(box_blur_kernel(channels), tag + ".kernel");
+  return g.add_transform(ad::make_conv2d(1, 1, false), {x, w}, tag);
+}
+
+ad::node_id apply_high_pass(ad::graph& g, ad::node_id x, std::int64_t channels,
+                            const std::string& tag, float gain) {
+  const ad::node_id blurred = apply_box_blur(g, x, channels, tag + ".blur");
+  const ad::node_id neg = g.add_transform(ad::make_scale(-1.0f), {blurred}, tag + ".neg");
+  const ad::node_id residual = g.add_transform(ad::make_add(), {x, neg}, tag + ".residual");
+  return g.add_transform(ad::make_scale(gain), {residual}, tag);
+}
+
+}  // namespace pelta::models

@@ -1,0 +1,26 @@
+// Fixed (non-trainable) input filters encoding the families' frequency
+// biases: ViTs are largely insensitive to high-frequency perturbations
+// (they aggregate patches), CNNs are texture-biased. Modeling the bias as
+// an explicit fixed band-pass at the model input reproduces the poor
+// CNN↔ViT adversarial transfer the paper's ensemble defense builds on
+// (Benz et al. [43], Mahmood et al. [44]) at simulator scale.
+//
+// The filters are constant graph nodes (architecture, not parameters):
+// PELTA never needs to hide them, and gradients flow through them to the
+// raw pixel input, so attacks keep operating in pixel space.
+#pragma once
+
+#include "autodiff/graph.h"
+
+namespace pelta::models {
+
+/// 3x3 per-channel box blur (low-pass), zero-padded. x [B,C,H,W].
+ad::node_id apply_box_blur(ad::graph& g, ad::node_id x, std::int64_t channels,
+                           const std::string& tag);
+
+/// High-pass residual x - blur(x), amplified by `gain` to keep the band's
+/// dynamic range trainable. x [B,C,H,W].
+ad::node_id apply_high_pass(ad::graph& g, ad::node_id x, std::int64_t channels,
+                            const std::string& tag, float gain = 4.0f);
+
+}  // namespace pelta::models

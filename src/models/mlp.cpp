@@ -1,0 +1,37 @@
+#include "models/mlp.h"
+
+#include "autodiff/ops_elementwise.h"
+#include "autodiff/ops_linalg.h"
+
+namespace pelta::models {
+
+mlp_model::mlp_model(const mlp_config& config) : config_{config} {
+  PELTA_CHECK_MSG(!config.hidden.empty(), "mlp needs at least one hidden layer");
+  rng gen{config.seed};
+  std::int64_t in = input_dim();
+  for (std::size_t i = 0; i < config.hidden.size(); ++i) {
+    layers_.push_back(std::make_unique<nn::linear_layer>(
+        params_, gen, "mlp.fc" + std::to_string(i), in, config.hidden[i]));
+    in = config.hidden[i];
+  }
+  layers_.push_back(
+      std::make_unique<nn::linear_layer>(params_, gen, "mlp.head", in, config.classes));
+}
+
+forward_pass mlp_model::forward(const tensor& images, ad::norm_mode /*mode*/) const {
+  PELTA_CHECK_MSG(images.ndim() == 4, "mlp expects [B,C,H,W], got " << to_string(images.shape()));
+  const std::int64_t batch = images.size(0);
+
+  forward_pass fp;
+  fp.input = fp.graph.add_input(images);
+  ad::node_id x = fp.graph.add_transform(ad::make_reshape({batch, input_dim()}), {fp.input},
+                                         "mlp.flatten");
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    x = layers_[i]->apply(fp.graph, x);
+    x = fp.graph.add_transform(ad::make_relu(), {x}, "mlp.act" + std::to_string(i));
+  }
+  fp.logits = layers_.back()->apply(fp.graph, x);
+  return fp;
+}
+
+}  // namespace pelta::models

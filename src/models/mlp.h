@@ -1,0 +1,54 @@
+// Plain deep neural network — the model class the paper's threat model is
+// written against (§III):
+//
+//     f = softmax ∘ f_n ∘ f_{n-1} ∘ ... ∘ f_1,   f_i = σ_i(W_i · x + b_i)
+//
+// Transformers and CNNs get all the §V stage time, but the DNN is where
+// PELTA's masking is easiest to reason about — and where the §II contrast
+// with parameter-gradient shields (DarkneTZ/PPFL/GradSec) is sharpest:
+// with an affine first layer, ∇W₁ = δ₁ xᵀ and ∇b₁ = δ₁, so anyone who can
+// read the first layer's parameter gradients reconstructs the training
+// input *analytically* (the attacks/inversion.h study). PELTA's frontier
+// for this family is the first affine transform and its activation.
+#pragma once
+
+#include <memory>
+
+#include "models/model.h"
+#include "nn/layers.h"
+
+namespace pelta::models {
+
+struct mlp_config {
+  std::string name = "mlp";
+  std::int64_t image_size = 16;
+  std::int64_t channels = 3;
+  std::vector<std::int64_t> hidden{64, 32};
+  std::int64_t classes = 10;
+  std::uint64_t seed = 19;
+};
+
+class mlp_model final : public model {
+public:
+  explicit mlp_model(const mlp_config& config);
+
+  const std::string& name() const override { return config_.name; }
+  std::int64_t num_classes() const override { return config_.classes; }
+  forward_pass forward(const tensor& images, ad::norm_mode mode) const override;
+  nn::param_store& params() override { return params_; }
+  const nn::param_store& params() const override { return params_; }
+
+  /// §V-A analogue for the DNN family: the first affine layer and its ReLU
+  /// live in the enclave.
+  std::vector<std::string> shield_frontier_tags() const override { return {"mlp.act0"}; }
+
+  const mlp_config& config() const { return config_; }
+  std::int64_t input_dim() const { return config_.channels * config_.image_size * config_.image_size; }
+
+private:
+  mlp_config config_;
+  nn::param_store params_;
+  std::vector<std::unique_ptr<nn::linear_layer>> layers_;
+};
+
+}  // namespace pelta::models

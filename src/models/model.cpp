@@ -1,0 +1,48 @@
+#include "models/model.h"
+
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace pelta::models {
+
+tensor predict(const model& m, const tensor& images) {
+  PELTA_CHECK_MSG(images.ndim() == 4, "predict expects [B,C,H,W]");
+  const std::int64_t n = images.size(0);
+  const std::int64_t c = images.size(1), h = images.size(2), w = images.size(3);
+  constexpr std::int64_t k_chunk = 16;  // parallel chunks keep eval fast on big splits
+  const std::int64_t chunks = (n + k_chunk - 1) / k_chunk;
+
+  tensor preds{shape_t{n}};
+  parallel_for(chunks, [&](std::int64_t chunk) {
+    const std::int64_t lo = chunk * k_chunk, hi = std::min(n, lo + k_chunk);
+    tensor part{shape_t{hi - lo, c, h, w}};
+    auto src = images.data();
+    std::copy(src.begin() + lo * c * h * w, src.begin() + hi * c * h * w,
+              part.data().begin());
+    forward_pass fp = m.forward(part, ad::norm_mode::eval);
+    const tensor p = ops::argmax_lastdim(fp.graph.value(fp.logits));
+    for (std::int64_t i = 0; i < hi - lo; ++i) preds[lo + i] = p[i];
+  });
+  return preds;
+}
+
+std::int64_t predict_one(const model& m, const tensor& image) {
+  PELTA_CHECK_MSG(image.ndim() == 3, "predict_one expects [C,H,W]");
+  shape_t batched{1};
+  for (std::int64_t d : image.shape()) batched.push_back(d);
+  const tensor preds = predict(m, image.reshape(batched));
+  return static_cast<std::int64_t>(preds[0]);
+}
+
+float accuracy(const model& m, const tensor& images, const tensor& labels,
+               std::int64_t /*batch_size*/) {
+  PELTA_CHECK(images.ndim() == 4 && labels.numel() == images.size(0));
+  const std::int64_t n = images.size(0);
+  const tensor preds = predict(m, images);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i)
+    if (static_cast<std::int64_t>(preds[i]) == static_cast<std::int64_t>(labels[i])) ++correct;
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+}  // namespace pelta::models

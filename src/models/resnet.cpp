@@ -1,0 +1,120 @@
+#include "models/resnet.h"
+
+#include "autodiff/ops_conv.h"
+#include "autodiff/ops_elementwise.h"
+#include "autodiff/ops_linalg.h"
+#include "models/filters.h"
+
+namespace pelta::models {
+
+resnet_model::resnet_model(const resnet_config& config) : config_{config} {
+  PELTA_CHECK_MSG(!config.stage_widths.empty(), "resnet needs at least one stage");
+  rng gen{config.seed};
+  const bool ws = config.flavor == resnet_flavor::groupnorm_ws;
+
+  // Stem. BN flavour: conv + BN + ReLU (the masked triple of §V-A);
+  // BiT flavour: a single weight-standardized conv (+ its padding).
+  stem_conv_ = std::make_unique<nn::conv2d_layer>(params_, gen, "stem.conv", config.channels,
+                                                  config.stage_widths[0], 3, 1, 1,
+                                                  /*bias=*/false, /*weight_std=*/ws);
+  if (!ws)
+    stem_bn_ = std::make_unique<nn::batchnorm_layer>(params_, "stem.bn", config.stage_widths[0]);
+
+  std::int64_t in_ch = config.stage_widths[0];
+  for (std::size_t stage = 0; stage < config.stage_widths.size(); ++stage) {
+    const std::int64_t out_ch = config.stage_widths[stage];
+    for (std::int64_t b = 0; b < config.blocks_per_stage; ++b) {
+      residual_block block;
+      block.name = "s" + std::to_string(stage) + "b" + std::to_string(b);
+      block.stride = (stage > 0 && b == 0) ? 2 : 1;
+      if (ws) {
+        block.gn1 = std::make_unique<nn::groupnorm_layer>(params_, block.name + ".gn1", in_ch,
+                                                          config.groupnorm_groups);
+        block.gn2 = std::make_unique<nn::groupnorm_layer>(params_, block.name + ".gn2", out_ch,
+                                                          config.groupnorm_groups);
+      } else {
+        block.bn1 = std::make_unique<nn::batchnorm_layer>(params_, block.name + ".bn1", in_ch);
+        block.bn2 = std::make_unique<nn::batchnorm_layer>(params_, block.name + ".bn2", out_ch);
+      }
+      block.conv1 = std::make_unique<nn::conv2d_layer>(params_, gen, block.name + ".conv1", in_ch,
+                                                       out_ch, 3, block.stride, 1, false, ws);
+      block.conv2 = std::make_unique<nn::conv2d_layer>(params_, gen, block.name + ".conv2",
+                                                       out_ch, out_ch, 3, 1, 1, false, ws);
+      if (block.stride != 1 || in_ch != out_ch)
+        block.proj = std::make_unique<nn::conv2d_layer>(params_, gen, block.name + ".proj", in_ch,
+                                                        out_ch, 1, block.stride, 0, false, ws);
+      blocks_.push_back(std::move(block));
+      in_ch = out_ch;
+    }
+  }
+
+  if (ws)
+    final_gn_ = std::make_unique<nn::groupnorm_layer>(params_, "final.gn", in_ch,
+                                                      config.groupnorm_groups);
+  else
+    final_bn_ = std::make_unique<nn::batchnorm_layer>(params_, "final.bn", in_ch);
+  head_ = std::make_unique<nn::linear_layer>(params_, gen, "head", in_ch, config.classes);
+}
+
+ad::node_id resnet_model::apply_norm_relu(ad::graph& g, ad::node_id x,
+                                          const nn::batchnorm_layer* bn,
+                                          const nn::groupnorm_layer* gn, ad::norm_mode mode,
+                                          const std::string& tag) const {
+  ad::node_id normed = bn != nullptr ? bn->apply(g, x, mode) : gn->apply(g, x);
+  return g.add_transform(ad::make_relu(), {normed}, tag);
+}
+
+ad::node_id resnet_model::apply_block(ad::graph& g, ad::node_id x, const residual_block& block,
+                                      ad::norm_mode mode) const {
+  const ad::node_id a =
+      apply_norm_relu(g, x, block.bn1.get(), block.gn1.get(), mode, block.name + ".relu1");
+  const ad::node_id shortcut = block.proj != nullptr ? block.proj->apply(g, a) : x;
+  ad::node_id h = block.conv1->apply(g, a);
+  h = apply_norm_relu(g, h, block.bn2.get(), block.gn2.get(), mode, block.name + ".relu2");
+  h = block.conv2->apply(g, h);
+  return g.add_transform(ad::make_add(), {h, shortcut}, block.name + ".add");
+}
+
+forward_pass resnet_model::forward(const tensor& images, ad::norm_mode mode) const {
+  PELTA_CHECK_MSG(images.ndim() == 4 && images.size(1) == config_.channels &&
+                      images.size(2) == config_.image_size && images.size(3) == config_.image_size,
+                  "resnet forward input " << to_string(images.shape()));
+  forward_pass fp;
+  fp.input = fp.graph.add_input(images, "x");
+  // Dataset normalization, as in the ViT (see vit.cpp).
+  const ad::node_id normed =
+      fp.graph.add_transform(ad::make_affine(4.0f, -0.5f), {fp.input}, "normalize");
+  // CNN-family texture bias: high-pass residual (see models/filters.h).
+  const ad::node_id banded = apply_high_pass(fp.graph, normed, config_.channels, "highpass");
+  ad::node_id h = stem_conv_->apply(fp.graph, banded);
+  if (config_.flavor == resnet_flavor::batchnorm) {
+    h = stem_bn_->apply(fp.graph, h, mode);
+    h = fp.graph.add_transform(ad::make_relu(), {h}, "stem.relu");
+  }
+  for (const auto& block : blocks_) h = apply_block(fp.graph, h, block, mode);
+  h = apply_norm_relu(fp.graph, h, final_bn_.get(), final_gn_.get(), mode, "final.relu");
+  h = fp.graph.add_transform(ad::make_global_avgpool(), {h}, "avgpool");
+  fp.logits = head_->apply(fp.graph, h);
+  return fp;
+}
+
+std::vector<ad::batchnorm_stats*> resnet_model::batchnorm_buffers() const {
+  std::vector<ad::batchnorm_stats*> out;
+  if (config_.flavor != resnet_flavor::batchnorm) return out;  // GN has no state
+  out.push_back(stem_bn_->stats());
+  for (const auto& block : blocks_) {
+    out.push_back(block.bn1->stats());
+    out.push_back(block.bn2->stats());
+  }
+  out.push_back(final_bn_->stats());
+  return out;
+}
+
+std::vector<std::string> resnet_model::shield_frontier_tags() const {
+  // §V-A: ResNet masks first conv + BN + ReLU; BiT masks the first
+  // weight-standardized conv (its padding is part of the conv node).
+  if (config_.flavor == resnet_flavor::batchnorm) return {"stem.relu"};
+  return {"stem.conv"};
+}
+
+}  // namespace pelta::models

@@ -1,0 +1,72 @@
+// Pre-activation ResNet-v2 (He et al. 2016) in two flavours:
+//   * batchnorm       — the paper's ResNet-56 / ResNet-164 defenders
+//   * groupnorm_ws    — Big Transfer (BiT): GroupNorm + weight-standardized
+//                       convolutions (Kolesnikov et al. 2020)
+//
+// PELTA frontier (§V-A): ResNet masks the first conv + BN + ReLU
+// ("stem.relu"); BiT masks the first weight-standardized convolution and
+// its padding ("stem.conv").
+#pragma once
+
+#include <memory>
+
+#include "models/model.h"
+#include "nn/layers.h"
+
+namespace pelta::models {
+
+enum class resnet_flavor : std::uint8_t { batchnorm, groupnorm_ws };
+
+struct resnet_config {
+  std::string name = "resnet";
+  resnet_flavor flavor = resnet_flavor::batchnorm;
+  std::int64_t image_size = 16;
+  std::int64_t channels = 3;
+  std::vector<std::int64_t> stage_widths{8, 16, 32};
+  std::int64_t blocks_per_stage = 2;
+  std::int64_t groupnorm_groups = 4;  ///< only for groupnorm_ws
+  std::int64_t classes = 10;
+  std::uint64_t seed = 13;
+};
+
+class resnet_model final : public model {
+public:
+  explicit resnet_model(const resnet_config& config);
+
+  const std::string& name() const override { return config_.name; }
+  std::int64_t num_classes() const override { return config_.classes; }
+  forward_pass forward(const tensor& images, ad::norm_mode mode) const override;
+  nn::param_store& params() override { return params_; }
+  const nn::param_store& params() const override { return params_; }
+  std::vector<std::string> shield_frontier_tags() const override;
+  std::vector<ad::batchnorm_stats*> batchnorm_buffers() const override;
+
+  const resnet_config& config() const { return config_; }
+
+private:
+  // One pre-activation residual block.
+  struct residual_block {
+    std::unique_ptr<nn::batchnorm_layer> bn1, bn2;        // batchnorm flavour
+    std::unique_ptr<nn::groupnorm_layer> gn1, gn2;        // groupnorm flavour
+    std::unique_ptr<nn::conv2d_layer> conv1, conv2, proj; // proj: 1x1 shortcut
+    std::string name;
+    std::int64_t stride = 1;
+  };
+
+  ad::node_id apply_norm_relu(ad::graph& g, ad::node_id x, const nn::batchnorm_layer* bn,
+                              const nn::groupnorm_layer* gn, ad::norm_mode mode,
+                              const std::string& tag) const;
+  ad::node_id apply_block(ad::graph& g, ad::node_id x, const residual_block& block,
+                          ad::norm_mode mode) const;
+
+  resnet_config config_;
+  nn::param_store params_;
+  std::unique_ptr<nn::conv2d_layer> stem_conv_;
+  std::unique_ptr<nn::batchnorm_layer> stem_bn_;  // batchnorm flavour only
+  std::vector<residual_block> blocks_;
+  std::unique_ptr<nn::batchnorm_layer> final_bn_;
+  std::unique_ptr<nn::groupnorm_layer> final_gn_;
+  std::unique_ptr<nn::linear_layer> head_;
+};
+
+}  // namespace pelta::models

@@ -1,0 +1,38 @@
+// Model training loop (Adam + cross-entropy) and evaluation helpers.
+#pragma once
+
+#include "data/dataset.h"
+#include "models/model.h"
+
+namespace pelta::models {
+
+struct train_config {
+  std::int64_t epochs = 12;
+  std::int64_t batch_size = 32;
+  float lr = 2e-3f;
+  float weight_decay = 1e-4f;
+  std::uint64_t seed = 7;
+  /// Data-parallel shards per batch (1 = sequential). Shard gradients are
+  /// merged in shard order, so results are deterministic; batch-norm
+  /// statistics are computed per shard (as in distributed BN).
+  std::int64_t shards = 1;
+  bool verbose = false;
+};
+
+struct train_report {
+  float final_loss = 0.0f;
+  float train_accuracy = 0.0f;
+  float test_accuracy = 0.0f;  ///< the paper's "clean accuracy"
+};
+
+/// Train `m` on the dataset's train split; returns accuracies on both splits.
+train_report train_model(model& m, const data::dataset& ds, const train_config& config);
+
+/// One forward+backward over a batch; returns the loss. Parameter gradients
+/// are accumulated into the model's param_store (caller zeroes/steps).
+float loss_and_grad(model& m, const data::batch& b);
+
+/// Same, split across `shards` data-parallel workers (see train_config).
+float loss_and_grad_sharded(model& m, const data::batch& b, std::int64_t shards);
+
+}  // namespace pelta::models

@@ -1,0 +1,108 @@
+#include "models/zoo.h"
+
+namespace pelta::models {
+
+namespace {
+
+vit_config base_vit(const task_spec& task, std::string name) {
+  vit_config c;
+  c.name = std::move(name);
+  c.image_size = task.image_size;
+  c.channels = task.channels;
+  c.classes = task.classes;
+  c.seed = task.seed;
+  // patch size scales with the image so the token count stays CPU-friendly
+  c.patch_size = task.image_size / 4;
+  return c;
+}
+
+resnet_config base_resnet(const task_spec& task, std::string name) {
+  resnet_config c;
+  c.name = std::move(name);
+  c.image_size = task.image_size;
+  c.channels = task.channels;
+  c.classes = task.classes;
+  c.seed = task.seed;
+  return c;
+}
+
+}  // namespace
+
+std::unique_ptr<vit_model> make_vit_l16_sim(const task_spec& task) {
+  vit_config c = base_vit(task, "ViT-L/16");
+  c.dim = 48;
+  c.heads = 4;
+  c.blocks = 4;
+  c.mlp_hidden = 96;
+  return std::make_unique<vit_model>(c);
+}
+
+std::unique_ptr<vit_model> make_vit_b16_sim(const task_spec& task) {
+  vit_config c = base_vit(task, "ViT-B/16");
+  c.dim = 32;
+  c.heads = 4;
+  c.blocks = 3;
+  c.mlp_hidden = 64;
+  return std::make_unique<vit_model>(c);
+}
+
+std::unique_ptr<vit_model> make_vit_b32_sim(const task_spec& task) {
+  vit_config c = base_vit(task, "ViT-B/32");
+  c.dim = 32;
+  c.heads = 4;
+  c.blocks = 3;
+  c.mlp_hidden = 64;
+  c.patch_size *= 2;  // /32 variant: coarser patches, fewer tokens
+  return std::make_unique<vit_model>(c);
+}
+
+std::unique_ptr<resnet_model> make_resnet56_sim(const task_spec& task) {
+  resnet_config c = base_resnet(task, "ResNet-56");
+  c.flavor = resnet_flavor::batchnorm;
+  c.stage_widths = {8, 16, 32};
+  c.blocks_per_stage = 2;
+  return std::make_unique<resnet_model>(c);
+}
+
+std::unique_ptr<resnet_model> make_resnet164_sim(const task_spec& task) {
+  resnet_config c = base_resnet(task, "ResNet-164");
+  c.flavor = resnet_flavor::batchnorm;
+  c.stage_widths = {12, 24, 48};
+  c.blocks_per_stage = 3;
+  return std::make_unique<resnet_model>(c);
+}
+
+std::unique_ptr<resnet_model> make_bit_r101x3_sim(const task_spec& task) {
+  resnet_config c = base_resnet(task, "BiT-M-R101x3");
+  c.flavor = resnet_flavor::groupnorm_ws;
+  c.stage_widths = {12, 24, 48};  // wider than the ResNets (BiT multiplier)
+  c.blocks_per_stage = 2;
+  return std::make_unique<resnet_model>(c);
+}
+
+std::unique_ptr<resnet_model> make_bit_r152x4_sim(const task_spec& task) {
+  resnet_config c = base_resnet(task, "BiT-M-R152x4");
+  c.flavor = resnet_flavor::groupnorm_ws;
+  c.stage_widths = {16, 32, 64};  // wider still, deeper
+  c.blocks_per_stage = 3;
+  return std::make_unique<resnet_model>(c);
+}
+
+std::unique_ptr<model> make_model(const std::string& paper_name, const task_spec& task) {
+  if (paper_name == "ViT-L/16") return make_vit_l16_sim(task);
+  if (paper_name == "ViT-B/16") return make_vit_b16_sim(task);
+  if (paper_name == "ViT-B/32") return make_vit_b32_sim(task);
+  if (paper_name == "ResNet-56") return make_resnet56_sim(task);
+  if (paper_name == "ResNet-164") return make_resnet164_sim(task);
+  if (paper_name == "BiT-M-R101x3") return make_bit_r101x3_sim(task);
+  if (paper_name == "BiT-M-R152x4") return make_bit_r152x4_sim(task);
+  throw error{"unknown model name: " + paper_name};
+}
+
+std::vector<std::string> table3_model_names(const std::string& dataset_name) {
+  if (dataset_name == "imagenet_like")  // Table III ImageNet rows
+    return {"ViT-L/16", "ViT-B/16", "BiT-M-R101x3", "BiT-M-R152x4"};
+  return {"ViT-L/16", "ViT-B/16", "ViT-B/32", "ResNet-56", "ResNet-164", "BiT-M-R101x3"};
+}
+
+}  // namespace pelta::models

@@ -1,0 +1,37 @@
+// Named model factories — scaled-down analogues of the paper's defenders.
+//
+// The "_sim" suffix marks that these reproduce the *families* and relative
+// size ordering (ViT-L > ViT-B; R152x4 > R101x3; ResNet-164 > ResNet-56) at
+// CPU-trainable scale, not the original parameter counts (DESIGN.md §4).
+#pragma once
+
+#include <memory>
+
+#include "models/resnet.h"
+#include "models/vit.h"
+
+namespace pelta::models {
+
+/// Shape of the classification problem a model is instantiated for.
+struct task_spec {
+  std::int64_t image_size = 16;
+  std::int64_t channels = 3;
+  std::int64_t classes = 10;
+  std::uint64_t seed = 11;
+};
+
+std::unique_ptr<vit_model> make_vit_l16_sim(const task_spec& task);
+std::unique_ptr<vit_model> make_vit_b16_sim(const task_spec& task);
+std::unique_ptr<vit_model> make_vit_b32_sim(const task_spec& task);
+std::unique_ptr<resnet_model> make_resnet56_sim(const task_spec& task);
+std::unique_ptr<resnet_model> make_resnet164_sim(const task_spec& task);
+std::unique_ptr<resnet_model> make_bit_r101x3_sim(const task_spec& task);
+std::unique_ptr<resnet_model> make_bit_r152x4_sim(const task_spec& task);
+
+/// Factory by paper name ("ViT-L/16", "BiT-M-R101x3", "ResNet-56", ...).
+std::unique_ptr<model> make_model(const std::string& paper_name, const task_spec& task);
+
+/// All paper model names evaluated on a given dataset (Table III rows).
+std::vector<std::string> table3_model_names(const std::string& dataset_name);
+
+}  // namespace pelta::models

@@ -1,0 +1,60 @@
+#include "nn/blocks.h"
+
+#include "autodiff/ops_conv.h"
+#include "autodiff/ops_elementwise.h"
+#include "autodiff/ops_linalg.h"
+#include "nn/init.h"
+
+namespace pelta::nn {
+
+patch_embedding::patch_embedding(param_store& store, rng& gen, std::string name,
+                                 std::int64_t channels, std::int64_t image_size,
+                                 std::int64_t patch_size, std::int64_t dim)
+    : name_{std::move(name)},
+      patch_size_{patch_size},
+      tokens_{(image_size / patch_size) * (image_size / patch_size)},
+      proj_{store, gen, name_ + ".proj", channels * patch_size * patch_size, dim} {
+  PELTA_CHECK_MSG(image_size % patch_size == 0,
+                  "patch size " << patch_size << " does not divide image size " << image_size);
+  class_token_ = &store.create(name_ + ".cls", trunc_normal02(gen, {dim}));
+  pos_embed_ = &store.create(name_ + ".pos", trunc_normal02(gen, {tokens_ + 1, dim}));
+}
+
+ad::node_id patch_embedding::apply(ad::graph& g, ad::node_id x) const {
+  const ad::node_id patches =
+      g.add_transform(ad::make_patchify(patch_size_), {x}, name_ + ".patchify");
+  const ad::node_id projected = proj_.apply(g, patches);
+  const ad::node_id with_cls = g.add_transform(
+      ad::make_prepend_token(), {g.add_parameter(*class_token_), projected}, name_ + ".cls_cat");
+  return g.add_transform(ad::make_add_broadcast(), {with_cls, g.add_parameter(*pos_embed_)},
+                         name_ + ".out");
+}
+
+mlp_block::mlp_block(param_store& store, rng& gen, std::string name, std::int64_t dim,
+                     std::int64_t hidden)
+    : name_{std::move(name)},
+      fc1_{store, gen, name_ + ".fc1", dim, hidden},
+      fc2_{store, gen, name_ + ".fc2", hidden, dim} {}
+
+ad::node_id mlp_block::apply(ad::graph& g, ad::node_id x) const {
+  const ad::node_id h = fc1_.apply(g, x);
+  const ad::node_id a = g.add_transform(ad::make_gelu(), {h}, name_ + ".gelu");
+  return fc2_.apply(g, a);
+}
+
+encoder_block::encoder_block(param_store& store, rng& gen, std::string name, std::int64_t dim,
+                             std::int64_t heads, std::int64_t mlp_hidden)
+    : name_{std::move(name)},
+      ln1_{store, name_ + ".ln1", dim},
+      attn_{store, gen, name_ + ".attn", dim, heads},
+      ln2_{store, name_ + ".ln2", dim},
+      mlp_{store, gen, name_ + ".mlp", dim, mlp_hidden} {}
+
+ad::node_id encoder_block::apply(ad::graph& g, ad::node_id x) const {
+  const ad::node_id a = attn_.apply(g, ln1_.apply(g, x));
+  const ad::node_id x1 = g.add_transform(ad::make_add(), {x, a}, name_ + ".res1");
+  const ad::node_id m = mlp_.apply(g, ln2_.apply(g, x1));
+  return g.add_transform(ad::make_add(), {x1, m}, name_ + ".res2");
+}
+
+}  // namespace pelta::nn

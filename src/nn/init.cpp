@@ -1,0 +1,41 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace pelta::nn {
+
+tensor xavier_uniform(rng& gen, shape_t shape, std::int64_t fan_in, std::int64_t fan_out) {
+  PELTA_CHECK(fan_in > 0 && fan_out > 0);
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::rand_uniform(gen, std::move(shape), -a, a);
+}
+
+tensor he_normal(rng& gen, shape_t shape, std::int64_t fan_in) {
+  PELTA_CHECK(fan_in > 0);
+  const float s = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return tensor::randn(gen, std::move(shape), 0.0f, s);
+}
+
+tensor trunc_normal02(rng& gen, shape_t shape) {
+  tensor t{std::move(shape)};
+  for (float& x : t.data()) {
+    float v = gen.normal(0.0f, 0.02f);
+    while (std::fabs(v) > 0.04f) v = gen.normal(0.0f, 0.02f);
+    x = v;
+  }
+  return t;
+}
+
+std::int64_t conv_fan_in(const shape_t& w) {
+  PELTA_CHECK(w.size() == 4);
+  return w[1] * w[2] * w[3];
+}
+
+std::int64_t conv_fan_out(const shape_t& w) {
+  PELTA_CHECK(w.size() == 4);
+  return w[0] * w[2] * w[3];
+}
+
+}  // namespace pelta::nn

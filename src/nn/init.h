@@ -1,0 +1,22 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace pelta::nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+tensor xavier_uniform(rng& gen, shape_t shape, std::int64_t fan_in, std::int64_t fan_out);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)) — for ReLU conv stacks.
+tensor he_normal(rng& gen, shape_t shape, std::int64_t fan_in);
+
+/// Truncated normal with std 0.02 (ViT token/position embeddings).
+tensor trunc_normal02(rng& gen, shape_t shape);
+
+/// Fan-in/out of a conv weight [OC, C, KH, KW].
+std::int64_t conv_fan_in(const shape_t& w);
+std::int64_t conv_fan_out(const shape_t& w);
+
+}  // namespace pelta::nn

@@ -1,0 +1,54 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace pelta::nn {
+
+void sgd::step(param_store& params) {
+  if (velocity_.empty())
+    for (std::size_t i = 0; i < params.size(); ++i)
+      velocity_.emplace_back(params.at(i).value.shape());
+  PELTA_CHECK_MSG(velocity_.size() == params.size(), "optimizer bound to a different store");
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& p = params.at(i);
+    auto pv = p.value.data();
+    auto pg = p.grad.data();
+    auto vel = velocity_[i].data();
+    for (std::size_t k = 0; k < pv.size(); ++k) {
+      const float g = pg[k] + weight_decay_ * pv[k];
+      vel[k] = momentum_ * vel[k] + g;
+      pv[k] -= lr_ * vel[k];
+    }
+  }
+}
+
+void adam::step(param_store& params) {
+  if (m_.empty())
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_.emplace_back(params.at(i).value.shape());
+      v_.emplace_back(params.at(i).value.shape());
+    }
+  PELTA_CHECK_MSG(m_.size() == params.size(), "optimizer bound to a different store");
+
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& p = params.at(i);
+    auto pv = p.value.data();
+    auto pg = p.grad.data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    for (std::size_t k = 0; k < pv.size(); ++k) {
+      const float g = pg[k];
+      m[k] = beta1_ * m[k] + (1.0f - beta1_) * g;
+      v[k] = beta2_ * v[k] + (1.0f - beta2_) * g * g;
+      const float mhat = m[k] / bc1;
+      const float vhat = v[k] / bc2;
+      pv[k] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * pv[k]);
+    }
+  }
+}
+
+}  // namespace pelta::nn

@@ -1,0 +1,51 @@
+// First-order optimizers over a param_store.
+#pragma once
+
+#include <vector>
+
+#include "nn/param_store.h"
+
+namespace pelta::nn {
+
+/// SGD with optional momentum and decoupled weight decay.
+class sgd {
+public:
+  explicit sgd(float lr, float momentum = 0.0f, float weight_decay = 0.0f)
+      : lr_{lr}, momentum_{momentum}, weight_decay_{weight_decay} {}
+
+  void step(param_store& params);
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with decoupled weight decay (AdamW-style).
+class adam {
+public:
+  explicit adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+                float weight_decay = 0.0f)
+      : lr_{lr}, beta1_{beta1}, beta2_{beta2}, eps_{eps}, weight_decay_{weight_decay} {}
+
+  void step(param_store& params);
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<tensor> m_;
+  std::vector<tensor> v_;
+};
+
+}  // namespace pelta::nn

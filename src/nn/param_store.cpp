@@ -1,0 +1,76 @@
+#include "nn/param_store.h"
+
+namespace pelta::nn {
+
+ad::parameter& param_store::create(std::string name, tensor init) {
+  PELTA_CHECK_MSG(!contains(name), "duplicate parameter name: " << name);
+  params_.push_back(std::make_unique<ad::parameter>(std::move(name), std::move(init)));
+  return *params_.back();
+}
+
+ad::parameter& param_store::get(const std::string& name) {
+  for (auto& p : params_)
+    if (p->name == name) return *p;
+  throw error{"unknown parameter: " + name};
+}
+
+const ad::parameter& param_store::get(const std::string& name) const {
+  for (const auto& p : params_)
+    if (p->name == name) return *p;
+  throw error{"unknown parameter: " + name};
+}
+
+bool param_store::contains(const std::string& name) const {
+  for (const auto& p : params_)
+    if (p->name == name) return true;
+  return false;
+}
+
+std::int64_t param_store::scalar_count() const {
+  std::int64_t n = 0;
+  for (const auto& p : params_) n += p->value.numel();
+  return n;
+}
+
+void param_store::zero_grads() {
+  for (auto& p : params_) p->grad.fill_(0.0f);
+}
+
+byte_buffer param_store::save_values() const {
+  byte_buffer out;
+  for (const auto& p : params_) serialize_tensor(p->value, out);
+  return out;
+}
+
+void param_store::load_values(const byte_buffer& buf) {
+  const std::size_t offset = load_values_at(buf, 0);
+  PELTA_CHECK_MSG(offset == buf.size(), "trailing bytes in parameter payload");
+}
+
+std::size_t param_store::load_values_at(const byte_buffer& buf, std::size_t offset) {
+  for (auto& p : params_) {
+    tensor t = deserialize_tensor(buf, offset);
+    PELTA_CHECK_MSG(t.same_shape(p->value),
+                    "parameter " << p->name << " shape mismatch on load");
+    p->value = std::move(t);
+  }
+  return offset;
+}
+
+void param_store::axpy_values(const param_store& other, float scale) {
+  PELTA_CHECK_MSG(other.size() == size(), "param store structure mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    PELTA_CHECK(params_[i]->value.same_shape(other.params_[i]->value));
+    params_[i]->value.add_scaled_(other.params_[i]->value, scale);
+  }
+}
+
+void param_store::copy_values_from(const param_store& other) {
+  PELTA_CHECK_MSG(other.size() == size(), "param store structure mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    PELTA_CHECK(params_[i]->value.same_shape(other.params_[i]->value));
+    params_[i]->value = other.params_[i]->value;
+  }
+}
+
+}  // namespace pelta::nn

@@ -1,0 +1,32 @@
+#include "shield/baselines.h"
+
+namespace pelta::shield {
+
+shield_report param_gradient_shield(const ad::graph& g, tee::enclave* enclave,
+                                    const std::string& key_prefix) {
+  shield_report report;
+  for (ad::node_id id = 0; id < g.node_count(); ++id) {
+    const ad::node& n = g.at(id);
+    if (n.kind != ad::node_kind::parameter) continue;
+    report.masked_side.push_back(id);
+    report.bytes_parameters += n.value.byte_size();
+    report.masked_param_scalars += n.value.numel();
+    if (enclave != nullptr) enclave->store(key_prefix + "p" + std::to_string(id), n.value);
+    if (n.has_adjoint) {
+      report.bytes_gradients += n.adjoint.byte_size();
+      if (enclave != nullptr)
+        enclave->store(key_prefix + "dp" + std::to_string(id), n.adjoint);
+    }
+  }
+  // masked_input intentionally stays invalid_node: ∇ₓL is not protected.
+  return report;
+}
+
+bool input_gradient_exposed(const ad::graph& g, const shield_report& report) {
+  const std::vector<ad::node_id> inputs = g.inputs();
+  for (ad::node_id x : inputs)
+    if (report.is_masked(x)) return false;
+  return !inputs.empty();
+}
+
+}  // namespace pelta::shield

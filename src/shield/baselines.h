@@ -1,0 +1,28 @@
+// Related-work baseline shields, for comparison with PELTA (§II).
+//
+// DarkneTZ / PPFL / GradSec protect ∇θL — parameters and *their* gradients
+// — against inversion/inference attacks. PELTA's observation is that this
+// leaves ∇ₓL (the input gradient) in the clear, so a compromised client can
+// still run every gradient-based evasion attack. param_gradient_shield
+// implements that related-work policy so the claim is measurable: the
+// masked set covers all parameter leaves and their adjoints, but no
+// input-dependent activations or adjoints — the attacker's ∇ₓL survives.
+#pragma once
+
+#include "shield/shield.h"
+
+namespace pelta::shield {
+
+/// GradSec-style masking: every parameter leaf (and its adjoint) moves into
+/// the enclave; the activation/adjoint chain along the input stays clear.
+/// Returns a shield_report whose masked_input is invalid_node — the input
+/// gradient is NOT protected by this policy.
+shield_report param_gradient_shield(const ad::graph& g, tee::enclave* enclave,
+                                    const std::string& key_prefix = "");
+
+/// Can an attacker still read dL/dx under a given report? True for
+/// param_gradient_shield, false for PELTA — used by tests and the
+/// comparison bench.
+bool input_gradient_exposed(const ad::graph& g, const shield_report& report);
+
+}  // namespace pelta::shield

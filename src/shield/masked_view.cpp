@@ -1,0 +1,67 @@
+#include "shield/masked_view.h"
+
+namespace pelta::shield {
+
+masked_view::masked_view(const ad::graph& g, shield_report report)
+    : graph_{&g}, report_{std::move(report)} {
+  masked_.assign(static_cast<std::size_t>(g.node_count()), false);
+  for (ad::node_id id : report_.masked_transforms) masked_[static_cast<std::size_t>(id)] = true;
+  for (ad::node_id id : report_.masked_side) masked_[static_cast<std::size_t>(id)] = true;
+  if (report_.masked_input != ad::invalid_node)
+    masked_[static_cast<std::size_t>(report_.masked_input)] = true;
+}
+
+bool masked_view::value_accessible(ad::node_id id) const {
+  if (id == report_.masked_input) return true;  // the attacker's own sample
+  return !masked_[static_cast<std::size_t>(id)];
+}
+
+bool masked_view::adjoint_accessible(ad::node_id id) const {
+  return !masked_[static_cast<std::size_t>(id)];
+}
+
+const tensor& masked_view::value(ad::node_id id) const {
+  if (!value_accessible(id))
+    throw tee::enclave_access_error{"PELTA: value of node " + std::to_string(id) +
+                                    " (" + graph_->at(id).tag + ") is enclave-resident"};
+  return graph_->value(id);
+}
+
+const tensor& masked_view::adjoint(ad::node_id id) const {
+  if (!adjoint_accessible(id))
+    throw tee::enclave_access_error{"PELTA: adjoint of node " + std::to_string(id) +
+                                    " (" + graph_->at(id).tag + ") is enclave-resident"};
+  return graph_->adjoint(id);
+}
+
+const tensor& masked_view::input_gradient() const {
+  PELTA_CHECK(report_.masked_input != ad::invalid_node);
+  return adjoint(report_.masked_input);  // throws: the input adjoint is masked
+}
+
+std::vector<ad::node_id> masked_view::clear_frontier() const {
+  std::vector<ad::node_id> out;
+  for (ad::node_id id = 0; id < graph_->node_count(); ++id) {
+    if (masked_[static_cast<std::size_t>(id)]) continue;
+    const ad::node& n = graph_->at(id);
+    if (n.kind != ad::node_kind::transform) continue;
+    for (ad::node_id p : n.parents)
+      if (masked_[static_cast<std::size_t>(p)]) {
+        out.push_back(id);
+        break;
+      }
+  }
+  return out;  // already in ascending (topological) id order
+}
+
+ad::node_id masked_view::clear_frontier_node() const {
+  const std::vector<ad::node_id> frontier = clear_frontier();
+  PELTA_CHECK_MSG(!frontier.empty(), "no clear frontier — the whole graph is masked?");
+  return frontier.front();
+}
+
+const tensor& masked_view::clear_adjoint() const {
+  return graph_->adjoint(clear_frontier_node());
+}
+
+}  // namespace pelta::shield

@@ -1,0 +1,48 @@
+// The attacker's restricted white-box view of a shielded forward/backward
+// pass (§IV-B). Clear vertices behave exactly like an open white box;
+// masked vertices raise tee::enclave_access_error, mirroring what a probe
+// of device memory would find with the enclave in place.
+#pragma once
+
+#include "shield/shield.h"
+
+namespace pelta::shield {
+
+class masked_view {
+public:
+  /// The graph must outlive the view.
+  masked_view(const ad::graph& g, shield_report report);
+
+  const ad::graph& graph() const { return *graph_; }
+  const shield_report& report() const { return report_; }
+
+  bool value_accessible(ad::node_id id) const;
+  bool adjoint_accessible(ad::node_id id) const;
+
+  /// Forward value u_i; throws enclave_access_error when masked. The model
+  /// input's *value* stays readable — it is the attacker's own sample.
+  const tensor& value(ad::node_id id) const;
+
+  /// Adjoint dL/du_i; throws enclave_access_error when masked.
+  const tensor& adjoint(ad::node_id id) const;
+
+  /// dL/dx — always denied under PELTA; throws enclave_access_error.
+  const tensor& input_gradient() const;
+
+  /// All clear transforms with at least one masked parent, shallowest first.
+  std::vector<ad::node_id> clear_frontier() const;
+
+  /// u_{L+1}: the shallowest clear transform (lowest id in clear_frontier).
+  ad::node_id clear_frontier_node() const;
+
+  /// δ_{L+1} = dL/du_{L+1} — the only backward-pass quantity the paper
+  /// leaves the attacker (the "under-factored gradient").
+  const tensor& clear_adjoint() const;
+
+private:
+  const ad::graph* graph_;
+  shield_report report_;
+  std::vector<bool> masked_;  // by node id
+};
+
+}  // namespace pelta::shield

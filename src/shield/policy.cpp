@@ -1,0 +1,25 @@
+#include "shield/policy.h"
+
+namespace pelta::shield {
+
+std::vector<ad::node_id> select_first_k_transforms(const ad::graph& g, std::int64_t k) {
+  PELTA_CHECK_MSG(k >= 1, "shield depth must be >= 1");
+  std::vector<ad::node_id> all;
+  for (ad::node_id id = 0; id < g.node_count(); ++id) {
+    const ad::node& n = g.at(id);
+    if (n.kind == ad::node_kind::transform && n.input_dependent) all.push_back(id);
+  }
+  PELTA_CHECK_MSG(static_cast<std::int64_t>(all.size()) >= k,
+                  "graph has only " << all.size() << " input-dependent transforms, need " << k);
+  // Select the k-th as the frontier; Algorithm 1's walk masks everything
+  // shallower automatically.
+  return {all[static_cast<std::size_t>(k - 1)]};
+}
+
+std::vector<ad::node_id> select_up_to_tag(const ad::graph& g, const std::string& tag) {
+  const ad::node_id id = g.find_tag(tag);
+  PELTA_CHECK_MSG(id != ad::invalid_node, "tag '" << tag << "' not found");
+  return {id};
+}
+
+}  // namespace pelta::shield

@@ -1,0 +1,17 @@
+// Select() policies (Algorithm 1 line 1) beyond the per-model defaults.
+#pragma once
+
+#include "autodiff/graph.h"
+
+namespace pelta::shield {
+
+/// The first k input-dependent transforms in topological order — the
+/// "shield depth" knob used by the ablation bench: k = 1 masks only the
+/// first transform, larger k pushes the clear frontier deeper.
+std::vector<ad::node_id> select_first_k_transforms(const ad::graph& g, std::int64_t k);
+
+/// All input-dependent transforms up to and including the node with the
+/// given tag (the per-model default frontier resolves through this).
+std::vector<ad::node_id> select_up_to_tag(const ad::graph& g, const std::string& tag);
+
+}  // namespace pelta::shield

@@ -1,0 +1,132 @@
+#include "shield/shield.h"
+
+#include <algorithm>
+
+namespace pelta::shield {
+
+bool shield_report::is_masked(ad::node_id id) const {
+  if (id == masked_input) return true;
+  if (std::find(masked_transforms.begin(), masked_transforms.end(), id) !=
+      masked_transforms.end())
+    return true;
+  return std::find(masked_side.begin(), masked_side.end(), id) != masked_side.end();
+}
+
+namespace {
+
+// Recursively mask the non-input-dependent side graph feeding a masked
+// transform: parameter leaves and parameter-derived vertices (e.g. the
+// weight-standardization node). §IV-B: "weights and biases … are regarded
+// as leaf vertices" and forward quantities enabling unambiguous recovery of
+// the hidden Jacobians must be masked.
+void mask_side(const ad::graph& g, ad::node_id id, std::vector<bool>& side_masked) {
+  if (side_masked[static_cast<std::size_t>(id)]) return;
+  const ad::node& n = g.at(id);
+  PELTA_CHECK(!n.input_dependent);
+  side_masked[static_cast<std::size_t>(id)] = true;
+  for (ad::node_id p : n.parents) mask_side(g, p, side_masked);
+}
+
+}  // namespace
+
+shield_report pelta_shield(const ad::graph& g, const std::vector<ad::node_id>& frontier,
+                           tee::enclave* enclave, const std::string& key_prefix) {
+  PELTA_CHECK_MSG(!frontier.empty(), "PELTA Select returned an empty frontier");
+  const std::int64_t n = g.node_count();
+  std::vector<bool> main_masked(static_cast<std::size_t>(n), false);
+  std::vector<bool> side_masked(static_cast<std::size_t>(n), false);
+
+  shield_report report;
+
+  // Algorithm 1, Shield(): walk from each selected vertex back towards the
+  // input along input-dependent edges (depth-first, iterative).
+  std::vector<ad::node_id> stack;
+  for (ad::node_id f : frontier) {
+    const ad::node& fn = g.at(f);
+    PELTA_CHECK_MSG(fn.kind == ad::node_kind::transform,
+                    "frontier node " << f << " is a leaf; Select requires i > l");
+    PELTA_CHECK_MSG(fn.input_dependent,
+                    "frontier node " << f << " (" << fn.tag << ") does not depend on the input");
+    stack.push_back(f);
+  }
+
+  while (!stack.empty()) {
+    const ad::node_id id = stack.back();
+    stack.pop_back();
+    if (main_masked[static_cast<std::size_t>(id)]) continue;
+    main_masked[static_cast<std::size_t>(id)] = true;
+    const ad::node& node = g.at(id);
+
+    if (node.kind == ad::node_kind::input) {
+      report.masked_input = id;
+      continue;
+    }
+    report.masked_transforms.push_back(id);
+
+    for (ad::node_id p : node.parents) {
+      const ad::node& parent = g.at(p);
+      if (parent.input_dependent) {
+        // Alg. 1 lines 8–10: local Jacobian into E, then Shield(parent).
+        report.jacobians.push_back(jacobian_record{
+            p, id, std::string{node.oper->name()}, node.value.numel(), parent.value.numel()});
+        stack.push_back(p);
+      } else if (parent.kind != ad::node_kind::constant) {
+        mask_side(g, p, side_masked);
+      }
+    }
+  }
+
+  // Deterministic ordering (DFS above visits in reverse-depth order).
+  std::sort(report.masked_transforms.begin(), report.masked_transforms.end());
+  for (ad::node_id id = 0; id < n; ++id)
+    if (side_masked[static_cast<std::size_t>(id)]) report.masked_side.push_back(id);
+
+  // Accounting + enclave placement.
+  const auto key = [&](const char* group, ad::node_id id) {
+    return key_prefix + group + std::to_string(id);
+  };
+  for (ad::node_id id : report.masked_transforms) {
+    const ad::node& node = g.at(id);
+    report.bytes_activations += node.value.byte_size();
+    if (enclave != nullptr) enclave->store(key("u", id), node.value);
+    if (node.has_adjoint) {
+      report.bytes_gradients += node.adjoint.byte_size();
+      if (enclave != nullptr) enclave->store(key("du", id), node.adjoint);
+    }
+  }
+  if (report.masked_input != ad::invalid_node) {
+    const ad::node& input = g.at(report.masked_input);
+    if (input.has_adjoint) {  // dL/dx — the attack's target quantity
+      report.bytes_gradients += input.adjoint.byte_size();
+      if (enclave != nullptr) enclave->store(key("du", report.masked_input), input.adjoint);
+    }
+  }
+  for (ad::node_id id : report.masked_side) {
+    const ad::node& node = g.at(id);
+    report.bytes_parameters += node.value.byte_size();
+    if (node.kind == ad::node_kind::parameter)
+      report.masked_param_scalars += node.value.numel();
+    if (enclave != nullptr) enclave->store(key("p", id), node.value);
+    if (node.has_adjoint) {
+      report.bytes_gradients += node.adjoint.byte_size();
+      if (enclave != nullptr) enclave->store(key("dp", id), node.adjoint);
+    }
+  }
+
+  PELTA_CHECK_MSG(report.masked_input != ad::invalid_node,
+                  "shield walk never reached the model input — frontier is disconnected");
+  return report;
+}
+
+shield_report pelta_shield_tags(const ad::graph& g, const std::vector<std::string>& frontier_tags,
+                                tee::enclave* enclave, const std::string& key_prefix) {
+  std::vector<ad::node_id> frontier;
+  for (const std::string& tag : frontier_tags) {
+    const ad::node_id id = g.find_tag(tag);
+    PELTA_CHECK_MSG(id != ad::invalid_node, "frontier tag '" << tag << "' not found in graph");
+    frontier.push_back(id);
+  }
+  return pelta_shield(g, frontier, enclave, key_prefix);
+}
+
+}  // namespace pelta::shield

@@ -1,0 +1,67 @@
+// PELTA shielding — Algorithm 1 of the paper.
+//
+// Given a computational graph G, a Select()-ed frontier (the deepest nodes
+// to mask) and a TEE enclave E, the shield:
+//   * masks every input-dependent vertex from the frontier back to the
+//     model input (their values u_i and adjoints dL/du_i move into E),
+//   * records every local Jacobian J_{j→i} along input-dependent edges
+//     (Alg. 1 lines 8–9) as enclave-resident,
+//   * masks the non-input-dependent arguments of masked transforms —
+//     weights, biases, and parameter-derived vertices such as the
+//     weight-standardized kernel — because e.g. J = W for a linear map
+//     would let the attacker reconstruct the hidden Jacobians (§IV-B),
+//   * masks the input adjoint dL/dx itself (the quantity gradient-based
+//     evasion attacks need).
+//
+// What remains for the attacker is the adjoint δ_{L+1} of the shallowest
+// clear layer, exposed via masked_view::clear_adjoint().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autodiff/graph.h"
+#include "tee/enclave.h"
+
+namespace pelta::shield {
+
+/// Enclave-resident local Jacobian J_{j→i} (symbolic record; the dense
+/// matrix is never materialized, matching how frameworks back-propagate).
+struct jacobian_record {
+  ad::node_id from = ad::invalid_node;  ///< parent j (input-dependent)
+  ad::node_id to = ad::invalid_node;    ///< child i (masked transform)
+  std::string op_name;                  ///< transform computing u_i
+  std::int64_t rows = 0;                ///< numel(u_i)
+  std::int64_t cols = 0;                ///< numel(u_j)
+};
+
+/// Everything Algorithm 1 decided and accounted.
+struct shield_report {
+  std::vector<ad::node_id> masked_transforms;  ///< input-dependent masked vertices
+  ad::node_id masked_input = ad::invalid_node; ///< the input leaf (adjoint masked)
+  std::vector<ad::node_id> masked_side;        ///< masked params / param-derived vertices
+  std::vector<jacobian_record> jacobians;
+
+  // Table I accounting (fp32 bytes, worst case: nothing flushed).
+  std::int64_t bytes_activations = 0;  ///< values of masked transforms
+  std::int64_t bytes_gradients = 0;    ///< adjoints of masked vertices + dL/dx
+  std::int64_t bytes_parameters = 0;   ///< masked weights/biases/derived kernels
+  std::int64_t masked_param_scalars = 0;  ///< numerator of "shielded portion"
+
+  std::int64_t total_bytes() const {
+    return bytes_activations + bytes_gradients + bytes_parameters;
+  }
+  bool is_masked(ad::node_id id) const;
+};
+
+/// Run Algorithm 1 from frontier node ids. When `enclave` is non-null the
+/// masked tensors are stored into it under `key_prefix` (idempotent keys, so
+/// iterated attacks model the paper's worst case of an unflushed enclave).
+shield_report pelta_shield(const ad::graph& g, const std::vector<ad::node_id>& frontier,
+                           tee::enclave* enclave, const std::string& key_prefix = "");
+
+/// Convenience: resolve a model's frontier tags first.
+shield_report pelta_shield_tags(const ad::graph& g, const std::vector<std::string>& frontier_tags,
+                                tee::enclave* enclave, const std::string& key_prefix = "");
+
+}  // namespace pelta::shield

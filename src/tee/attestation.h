@@ -1,0 +1,25 @@
+// Remote attestation stub (WaTZ-style, paper ref [22]): a verifier sends a
+// nonce, the enclave answers with a quote binding its current measurement
+// to that nonce. The FL server uses this to check that a client's PELTA
+// enclave really holds the expected shielded state before trusting its
+// updates.
+#pragma once
+
+#include "tee/enclave.h"
+
+namespace pelta::tee {
+
+struct quote {
+  std::uint64_t measurement = 0;  ///< enclave content hash at quote time
+  std::uint64_t nonce = 0;        ///< verifier's challenge
+  std::uint64_t signature = 0;    ///< binds (measurement, nonce); simulation-grade
+};
+
+/// Produce a quote over the enclave's current contents for `nonce`.
+quote issue_quote(const enclave& e, std::uint64_t nonce);
+
+/// Verify a quote against an expected measurement and the challenge nonce.
+/// Returns false on any mismatch or a forged signature.
+bool verify_quote(const quote& q, std::uint64_t expected_measurement, std::uint64_t nonce);
+
+}  // namespace pelta::tee

@@ -1,0 +1,109 @@
+#include "tee/enclave.h"
+
+namespace pelta::tee {
+
+enclave::enclave(std::int64_t capacity_bytes, cost_model costs)
+    : capacity_{capacity_bytes}, costs_{costs} {
+  PELTA_CHECK_MSG(capacity_bytes > 0, "enclave capacity must be positive");
+  // Per-instance sealing key (derived, not secret — simulation only).
+  sealing_key_ = fnv1a(reinterpret_cast<const std::uint8_t*>(&capacity_), sizeof(capacity_),
+                       0x7ee5ec0de5ull);
+}
+
+void enclave::enter_secure() {
+  PELTA_CHECK_MSG(world_ == world::normal, "already in the secure world");
+  world_ = world::secure;
+  ++stats_.world_switches;
+  stats_.simulated_ns += costs_.world_switch_ns;
+}
+
+void enclave::exit_secure() {
+  PELTA_CHECK_MSG(world_ == world::secure, "not in the secure world");
+  world_ = world::normal;
+  ++stats_.world_switches;
+  stats_.simulated_ns += costs_.world_switch_ns;
+}
+
+void enclave::store(const std::string& key, const tensor& value) {
+  const std::int64_t incoming = value.byte_size();
+  std::int64_t delta = incoming;
+  auto it = store_.find(key);
+  if (it != store_.end()) delta -= it->second.byte_size();
+  if (used_bytes_ + delta > capacity_) {
+    std::ostringstream os;
+    os << "enclave capacity exceeded: " << used_bytes_ + delta << " > " << capacity_
+       << " bytes while storing '" << key << "'";
+    throw enclave_capacity_error{os.str()};
+  }
+
+  if (world_ == world::normal) {
+    // Data crossing into secure memory: charged as an ecall-style transfer.
+    stats_.simulated_ns +=
+        2 * costs_.world_switch_ns + static_cast<double>(incoming) * costs_.per_byte_ns;
+    stats_.world_switches += 2;
+  }
+  stats_.bytes_in += incoming;
+  ++stats_.stores;
+  store_[key] = value;
+  used_bytes_ += delta;
+}
+
+const tensor& enclave::load(const std::string& key) const {
+  if (world_ != world::secure) {
+    ++stats_.denied_accesses;
+    throw enclave_access_error{"enclave access denied from the normal world: '" + key + "'"};
+  }
+  auto it = store_.find(key);
+  PELTA_CHECK_MSG(it != store_.end(), "no enclave entry named '" << key << "'");
+  ++stats_.loads;
+  stats_.bytes_out += it->second.byte_size();
+  return it->second;
+}
+
+bool enclave::contains(const std::string& key) const { return store_.count(key) != 0; }
+
+void enclave::erase(const std::string& key) {
+  auto it = store_.find(key);
+  if (it == store_.end()) return;
+  used_bytes_ -= it->second.byte_size();
+  store_.erase(it);
+}
+
+void enclave::clear() {
+  store_.clear();
+  used_bytes_ = 0;
+}
+
+std::vector<std::string> enclave::keys() const {
+  std::vector<std::string> out;
+  out.reserve(store_.size());
+  for (const auto& [k, v] : store_) out.push_back(k);
+  return out;
+}
+
+sealed_blob enclave::seal_entry(const std::string& key) const {
+  auto it = store_.find(key);
+  PELTA_CHECK_MSG(it != store_.end(), "no enclave entry named '" << key << "'");
+  const byte_buffer plain = to_bytes(it->second);
+  stats_.simulated_ns += static_cast<double>(plain.size()) * costs_.seal_per_byte_ns;
+  return seal(plain, sealing_key_);
+}
+
+void enclave::import_sealed(const std::string& key, const sealed_blob& blob) {
+  const byte_buffer plain = unseal(blob, sealing_key_);
+  stats_.simulated_ns += static_cast<double>(plain.size()) * costs_.seal_per_byte_ns;
+  store(key, from_bytes(plain));
+}
+
+std::uint64_t enclave::measurement() const {
+  // Deterministic: std::map iterates keys in sorted order.
+  std::uint64_t h = 0x5ee1d0c0de5ull;
+  for (const auto& [k, v] : store_) {
+    h = fnv1a(reinterpret_cast<const std::uint8_t*>(k.data()), k.size(), h);
+    h = fnv1a(reinterpret_cast<const std::uint8_t*>(v.data().data()),
+              v.data().size() * sizeof(float), h);
+  }
+  return h;
+}
+
+}  // namespace pelta::tee

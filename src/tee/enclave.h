@@ -1,0 +1,108 @@
+// TrustZone-like enclave simulator.
+//
+// A capacity-capped secure memory region holding named tensors. Access
+// control is world-based: loads from the normal world are denied (this is
+// the attacker's vantage point — exactly the guarantee PELTA builds on),
+// loads from within a secure session succeed. Every boundary crossing and
+// byte transferred is accounted against the §VI cost model, and the
+// capacity cap enforces the TrustZone ≈ 30 MB constraint that motivates
+// PELTA's partial-shielding design.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tee/sealing.h"
+#include "tee/world.h"
+#include "tensor/tensor.h"
+
+namespace pelta::tee {
+
+/// Raised when normal-world code reads enclave-resident data.
+class enclave_access_error : public error {
+public:
+  using error::error;
+};
+
+/// Raised when a store would exceed the enclave capacity.
+class enclave_capacity_error : public error {
+public:
+  using error::error;
+};
+
+class enclave {
+public:
+  /// TrustZone secure memory is limited — up to ~30 MB in the scenarios the
+  /// paper cites — hence the default capacity.
+  static constexpr std::int64_t k_default_capacity = 30ll * 1024 * 1024;
+
+  explicit enclave(std::int64_t capacity_bytes = k_default_capacity, cost_model costs = {});
+
+  // ---- world management -----------------------------------------------------
+
+  world current_world() const { return world_; }
+  void enter_secure();  ///< counts a world switch
+  void exit_secure();   ///< counts a world switch
+
+  // ---- secure storage ---------------------------------------------------------
+
+  /// Store a tensor under `key` (replaces an existing entry). Charged as a
+  /// normal->secure transfer when invoked from the normal world.
+  void store(const std::string& key, const tensor& value);
+
+  /// Read back a stored tensor. Requires the secure world: from the normal
+  /// world this throws enclave_access_error (and counts a denied access) —
+  /// the attacker-facing behaviour PELTA's masking relies on.
+  const tensor& load(const std::string& key) const;
+
+  bool contains(const std::string& key) const;
+  void erase(const std::string& key);
+  void clear();
+
+  std::int64_t used_bytes() const { return used_bytes_; }
+  std::int64_t capacity_bytes() const { return capacity_; }
+  std::int64_t entry_count() const { return static_cast<std::int64_t>(store_.size()); }
+  std::vector<std::string> keys() const;
+
+  // ---- sealing / attestation ---------------------------------------------------
+
+  /// Seal a stored entry for export (encrypted under the enclave key).
+  sealed_blob seal_entry(const std::string& key) const;
+  /// Import a sealed entry (verifies integrity).
+  void import_sealed(const std::string& key, const sealed_blob& blob);
+
+  /// Measurement over the enclave contents (attestation stub): hash of all
+  /// keys and payloads, order-independent of insertion history.
+  std::uint64_t measurement() const;
+
+  const tee_stats& statistics() const { return stats_; }
+  void reset_statistics() { stats_ = {}; }
+  const cost_model& costs() const { return costs_; }
+
+  /// Charge extra modeled latency (used by the switchless-call layer, whose
+  /// handoffs bypass the per-operation world-switch charging).
+  void charge_ns(double ns) { stats_.simulated_ns += ns; }
+
+private:
+  std::int64_t capacity_;
+  cost_model costs_;
+  std::uint64_t sealing_key_;
+  world world_ = world::normal;
+  std::map<std::string, tensor> store_;
+  std::int64_t used_bytes_ = 0;
+  mutable tee_stats stats_;
+};
+
+/// RAII secure-world session: enter on construction, exit on destruction.
+class secure_session {
+public:
+  explicit secure_session(enclave& e) : enclave_{e} { enclave_.enter_secure(); }
+  ~secure_session() { enclave_.exit_secure(); }
+  secure_session(const secure_session&) = delete;
+  secure_session& operator=(const secure_session&) = delete;
+
+private:
+  enclave& enclave_;
+};
+
+}  // namespace pelta::tee

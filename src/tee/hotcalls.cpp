@@ -1,0 +1,110 @@
+#include "tee/hotcalls.h"
+
+namespace pelta::tee {
+
+hotcall_server::hotcall_server(enclave& e) : enclave_{&e} {
+  PELTA_CHECK_MSG(e.current_world() == world::normal,
+                  "hotcall_server expects the enclave in the normal world");
+  // One switch for the worker's lifetime instead of two per operation.
+  enclave_->enter_secure();
+  worker_ = std::thread{[this] { worker_loop(); }};
+}
+
+hotcall_server::~hotcall_server() {
+  stop_.store(true, std::memory_order_release);
+  worker_.join();
+  enclave_->exit_secure();
+}
+
+void hotcall_server::worker_loop() {
+  for (;;) {
+    if (state_.load(std::memory_order_acquire) == slot_state::ready) {
+      request& r = *slot_;
+      try {
+        switch (r.kind) {
+          case op::store:
+            enclave_->store(r.key, *r.in);
+            break;
+          case op::load:
+            r.out = enclave_->load(r.key);
+            break;
+          case op::contains:
+            r.flag = enclave_->contains(r.key);
+            break;
+          case op::erase:
+            enclave_->erase(r.key);
+            break;
+        }
+      } catch (const std::exception& ex) {
+        r.error_message = ex.what();
+      }
+      state_.store(slot_state::done, std::memory_order_release);
+    } else {
+      if (stop_.load(std::memory_order_acquire)) return;
+      worker_polls_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  }
+}
+
+void hotcall_server::call(request& r) {
+  const std::scoped_lock lock{client_mutex_};
+  slot_ = &r;
+  state_.store(slot_state::ready, std::memory_order_release);
+  while (state_.load(std::memory_order_acquire) != slot_state::done) std::this_thread::yield();
+  state_.store(slot_state::empty, std::memory_order_release);
+
+  // Modeled cost: one polled handoff plus the bytes that crossed the slot.
+  std::int64_t bytes = 0;
+  if (r.in != nullptr) bytes += r.in->byte_size();
+  if (r.out.has_value()) bytes += r.out->byte_size();
+  const double ns =
+      enclave_->costs().hotcall_ns + static_cast<double>(bytes) * enclave_->costs().per_byte_ns;
+  simulated_ns_ += ns;
+  enclave_->charge_ns(ns);
+  ++calls_;
+
+  if (!r.error_message.empty()) throw error{r.error_message};
+}
+
+void hotcall_server::store(const std::string& key, const tensor& value) {
+  request r;
+  r.kind = op::store;
+  r.key = key;
+  r.in = &value;
+  call(r);
+}
+
+tensor hotcall_server::load(const std::string& key) {
+  request r;
+  r.kind = op::load;
+  r.key = key;
+  call(r);
+  PELTA_CHECK_MSG(r.out.has_value(), "hotcall load returned nothing");
+  return std::move(*r.out);
+}
+
+bool hotcall_server::contains(const std::string& key) {
+  request r;
+  r.kind = op::contains;
+  r.key = key;
+  call(r);
+  return r.flag;
+}
+
+void hotcall_server::erase(const std::string& key) {
+  request r;
+  r.kind = op::erase;
+  r.key = key;
+  call(r);
+}
+
+hotcall_stats hotcall_server::statistics() const {
+  hotcall_stats s;
+  s.calls = calls_;
+  s.worker_polls = worker_polls_.load(std::memory_order_relaxed);
+  s.simulated_ns = simulated_ns_;
+  return s;
+}
+
+}  // namespace pelta::tee

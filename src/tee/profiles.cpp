@@ -1,0 +1,43 @@
+#include "tee/profiles.h"
+
+namespace pelta::tee {
+
+tee_profile profile(tee_profile_kind kind) {
+  tee_profile p;
+  switch (kind) {
+    case tee_profile_kind::trustzone_optee:
+      p.name = "TrustZone/OP-TEE";
+      p.costs.world_switch_ns = 4'000.0;   // SMC + OP-TEE dispatch (Amacher & Schiavoni)
+      p.costs.per_byte_ns = 0.8;
+      p.costs.seal_per_byte_ns = 1.6;
+      p.capacity_bytes = 30ll * 1024 * 1024;  // the paper's ≈30 MB scenario
+      break;
+    case tee_profile_kind::sgx_classic:
+      p.name = "SGX (ecall/ocall)";
+      p.costs.world_switch_ns = 10'000.0;  // ecall incl. TLB flush (Weisse et al. baseline)
+      p.costs.per_byte_ns = 1.6;           // MEE encryption on every EPC line
+      p.costs.seal_per_byte_ns = 3.2;
+      p.capacity_bytes = 93ll * 1024 * 1024;  // usable EPC of classic SGX
+      break;
+    case tee_profile_kind::sgx_hotcalls:
+      p.name = "SGX + HotCalls";
+      p.costs.world_switch_ns = 620.0;  // polled shared-slot call (Weisse et al.)
+      p.costs.per_byte_ns = 1.6;
+      p.costs.seal_per_byte_ns = 3.2;
+      p.capacity_bytes = 93ll * 1024 * 1024;
+      break;
+  }
+  return p;
+}
+
+std::vector<tee_profile_kind> all_profiles() {
+  return {tee_profile_kind::trustzone_optee, tee_profile_kind::sgx_classic,
+          tee_profile_kind::sgx_hotcalls};
+}
+
+enclave make_enclave(tee_profile_kind kind) {
+  const tee_profile p = profile(kind);
+  return enclave{p.capacity_bytes, p.costs};
+}
+
+}  // namespace pelta::tee

@@ -1,0 +1,40 @@
+// Named TEE cost/capacity profiles (§VI system implications).
+//
+// The paper's defense targets Arm TrustZone but its discussion (and the
+// cited measurements — Amacher & Schiavoni for TrustZone/OP-TEE, Weisse et
+// al.'s HotCalls for SGX, Costan & Devadas for SGX itself) spans both
+// architectures. A profile packages the boundary-crossing cost model with
+// the enclave capacity, so every §VI bench can be replayed per platform:
+//
+//   trustzone_optee — SMC world switch ≈ 4 µs, secure memory ≈ 30 MB (the
+//                     constraint that motivates PELTA's partial shielding)
+//   sgx_classic     — ecall/ocall ≈ 10 µs (TLB shootdown included), usable
+//                     EPC ≈ 93 MB, costlier per-byte (MEE encryption)
+//   sgx_hotcalls    — Weisse et al.'s switchless calls: a worker thread
+//                     inside the enclave polls a shared request slot, so a
+//                     call costs ≈ 0.6 µs and no context switch
+#pragma once
+
+#include <string>
+
+#include "tee/enclave.h"
+
+namespace pelta::tee {
+
+enum class tee_profile_kind : std::uint8_t { trustzone_optee, sgx_classic, sgx_hotcalls };
+
+struct tee_profile {
+  std::string name;
+  cost_model costs;
+  std::int64_t capacity_bytes = 0;
+};
+
+tee_profile profile(tee_profile_kind kind);
+
+/// All profiles, for sweeps.
+std::vector<tee_profile_kind> all_profiles();
+
+/// Construct an enclave configured per profile.
+enclave make_enclave(tee_profile_kind kind);
+
+}  // namespace pelta::tee

@@ -1,0 +1,54 @@
+#include "tee/sealing.h"
+
+#include "tensor/check.h"
+
+namespace pelta::tee {
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+// splitmix64 keystream
+std::uint64_t next_key(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void xor_keystream(byte_buffer& buf, std::uint64_t key) {
+  std::uint64_t state = key;
+  std::uint64_t block = 0;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (i % 8 == 0) block = next_key(state);
+    buf[i] ^= static_cast<std::uint8_t>(block >> ((i % 8) * 8));
+  }
+}
+
+}  // namespace
+
+sealed_blob seal(const byte_buffer& plaintext, std::uint64_t key) {
+  sealed_blob blob;
+  blob.tag = fnv1a(plaintext.data(), plaintext.size(), key);
+  blob.ciphertext = plaintext;
+  xor_keystream(blob.ciphertext, key);
+  return blob;
+}
+
+byte_buffer unseal(const sealed_blob& blob, std::uint64_t key) {
+  byte_buffer plain = blob.ciphertext;
+  xor_keystream(plain, key);
+  const std::uint64_t tag = fnv1a(plain.data(), plain.size(), key);
+  PELTA_CHECK_MSG(tag == blob.tag, "sealed blob failed integrity verification");
+  return plain;
+}
+
+}  // namespace pelta::tee

@@ -1,0 +1,30 @@
+// Enclave data sealing: authenticated encryption-at-rest for blobs that
+// leave secure memory (e.g. persisted shielded weights between FL rounds).
+//
+// This is a *simulation-grade* cipher (keystream XOR + FNV-1a tag), not a
+// cryptographic primitive: it exercises the seal/unseal/verify code paths
+// and fails loudly on tampering, which is what the tests and the FL
+// substrate need from it.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/serialize.h"
+
+namespace pelta::tee {
+
+struct sealed_blob {
+  byte_buffer ciphertext;
+  std::uint64_t tag = 0;  ///< integrity tag over the plaintext
+};
+
+/// Seal a buffer under a 64-bit enclave key.
+sealed_blob seal(const byte_buffer& plaintext, std::uint64_t key);
+
+/// Unseal and verify; throws pelta::error on a bad tag (tampering).
+byte_buffer unseal(const sealed_blob& blob, std::uint64_t key);
+
+/// FNV-1a 64-bit hash (also used for enclave measurement).
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n, std::uint64_t seed = 0xcbf29ce484222325ull);
+
+}  // namespace pelta::tee

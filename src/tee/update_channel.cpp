@@ -1,0 +1,62 @@
+#include "tee/update_channel.h"
+
+#include "tensor/ops.h"
+
+namespace pelta::tee {
+
+secure_update_channel::secure_update_channel(enclave& e, std::int64_t pull_period,
+                                             const std::string& key_prefix)
+    : enclave_{&e}, pull_period_{pull_period}, prefix_{key_prefix} {
+  PELTA_CHECK_MSG(pull_period >= 1, "pull_period must be >= 1");
+}
+
+void secure_update_channel::push_batch(const std::vector<tensor>& frontier_grads) {
+  PELTA_CHECK_MSG(!frontier_grads.empty(), "push_batch with no gradients");
+  if (slots_ < 0) slots_ = static_cast<std::int64_t>(frontier_grads.size());
+  PELTA_CHECK_MSG(static_cast<std::int64_t>(frontier_grads.size()) == slots_,
+                  "push_batch tensor count changed mid-stream");
+
+  // The gradients are *produced* inside the enclave during the shielded
+  // backward pass — accumulating them is secure-world work, no boundary
+  // crossing happens here.
+  const secure_session session{*enclave_};
+  for (std::size_t i = 0; i < frontier_grads.size(); ++i) {
+    const std::string key = prefix_ + ".acc." + std::to_string(i);
+    if (pending_ == 0) {
+      enclave_->store(key, frontier_grads[i]);
+    } else {
+      const tensor& acc = enclave_->load(key);
+      PELTA_CHECK_MSG(acc.same_shape(frontier_grads[i]),
+                      "frontier gradient " << i << " changed shape mid-stream");
+      enclave_->store(key, ops::add(acc, frontier_grads[i]));
+    }
+  }
+  ++pending_;
+  ++total_batches_;
+}
+
+std::vector<tensor> secure_update_channel::pull() {
+  PELTA_CHECK_MSG(pending_ > 0, "pull() with no accumulated batches");
+  std::vector<tensor> out;
+  out.reserve(static_cast<std::size_t>(slots_));
+
+  std::int64_t bytes = 0;
+  {
+    const secure_session session{*enclave_};
+    const float inv = 1.0f / static_cast<float>(pending_);
+    for (std::int64_t i = 0; i < slots_; ++i) {
+      const std::string key = prefix_ + ".acc." + std::to_string(i);
+      out.push_back(ops::mul_scalar(enclave_->load(key), inv));
+      bytes += out.back().byte_size();
+      enclave_->erase(key);
+    }
+  }
+  // The averaged update crosses to the normal world for the FL upload.
+  enclave_->charge_ns(static_cast<double>(bytes) * enclave_->costs().per_byte_ns);
+  bytes_pulled_ += bytes;
+  ++pulls_;
+  pending_ = 0;
+  return out;
+}
+
+}  // namespace pelta::tee

@@ -1,0 +1,60 @@
+// The §VI training-phase bandwidth knob.
+//
+// "Inside the enclave, gradients which were not generated during regular
+// end-user inference are now being computed: these gradients seldom need to
+// be read from within the enclave in order to be sent for aggregation ...
+// the frequency at which the weight updates are pulled out of the enclave
+// could be lowered to allow averaging hidden gradients over larger batches
+// on the client nodes."
+//
+// secure_update_channel implements exactly that: per training batch the
+// shielded frontier gradients are accumulated inside the enclave; only
+// every `pull_period` batches does the averaged update cross the boundary
+// for the FL upload. The bench sweeps pull_period and reports the §VI
+// quantities — boundary bytes, world switches, modeled latency — per
+// training round.
+#pragma once
+
+#include <vector>
+
+#include "tee/enclave.h"
+
+namespace pelta::tee {
+
+class secure_update_channel {
+public:
+  /// `pull_period` >= 1 batches between boundary crossings.
+  secure_update_channel(enclave& e, std::int64_t pull_period,
+                        const std::string& key_prefix = "channel");
+
+  /// Accumulate one batch's frontier gradients inside the enclave. All
+  /// calls must pass the same number of tensors with stable shapes.
+  void push_batch(const std::vector<tensor>& frontier_grads);
+
+  /// True when `pull_period` batches have accumulated since the last pull.
+  bool ready() const { return pending_ >= pull_period_; }
+
+  /// Averaged accumulated gradients, crossing secure -> normal (charged:
+  /// two world switches plus per-byte marshalling); resets the accumulator.
+  /// Callable early (flush at end of round) as long as >= 1 batch pushed.
+  std::vector<tensor> pull();
+
+  std::int64_t pull_period() const { return pull_period_; }
+  std::int64_t pending_batches() const { return pending_; }
+  std::int64_t total_batches() const { return total_batches_; }
+  std::int64_t pulls() const { return pulls_; }
+  /// Bytes that crossed secure -> normal through this channel.
+  std::int64_t bytes_pulled() const { return bytes_pulled_; }
+
+private:
+  enclave* enclave_;
+  std::int64_t pull_period_;
+  std::string prefix_;
+  std::int64_t slots_ = -1;  ///< tensors per batch, fixed by the first push
+  std::int64_t pending_ = 0;
+  std::int64_t total_batches_ = 0;
+  std::int64_t pulls_ = 0;
+  std::int64_t bytes_pulled_ = 0;
+};
+
+}  // namespace pelta::tee

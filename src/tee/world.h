@@ -1,0 +1,38 @@
+// TrustZone-style execution worlds and the §VI cost model.
+//
+// The simulator charges a fixed latency per normal↔secure world switch and
+// a per-byte marshalling cost for data crossing the boundary — the two
+// overhead sources the paper's System Implications section discusses.
+// Defaults follow the µs-scale figures of the papers cited there
+// (Amacher & Schiavoni 2019; Weisse et al. 2017; Mukherjee et al. 2019).
+#pragma once
+
+#include <cstdint>
+
+namespace pelta::tee {
+
+enum class world : std::uint8_t {
+  normal,  ///< rich OS side — the attacker's vantage point
+  secure,  ///< enclave side — PELTA's shielded quantities live here
+};
+
+/// Latency model for simulated TEE operations (values in nanoseconds).
+struct cost_model {
+  double world_switch_ns = 4'000.0;   ///< one SMC/ecall-style transition (~4 µs)
+  double per_byte_ns = 0.8;           ///< encrypt+copy across the boundary
+  double seal_per_byte_ns = 1.6;      ///< sealing (encryption-at-rest) cost
+  double hotcall_ns = 620.0;          ///< one switchless call handoff (Weisse et al.)
+};
+
+/// Counters accumulated by the enclave simulator.
+struct tee_stats {
+  std::int64_t world_switches = 0;
+  std::int64_t bytes_in = 0;    ///< normal -> secure
+  std::int64_t bytes_out = 0;   ///< secure -> normal
+  std::int64_t stores = 0;
+  std::int64_t loads = 0;
+  std::int64_t denied_accesses = 0;  ///< attacker reads rejected by access control
+  double simulated_ns = 0.0;         ///< total modeled latency
+};
+
+}  // namespace pelta::tee

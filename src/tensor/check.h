@@ -1,0 +1,49 @@
+// Lightweight contract checking for the PELTA library.
+//
+// All public-API misuse and internal invariant violations raise
+// pelta::error (derived from std::runtime_error) with a readable message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pelta {
+
+/// Base exception for every error raised by the PELTA library.
+class error : public std::runtime_error {
+public:
+  explicit error(const std::string& what) : std::runtime_error{what} {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PELTA check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw error{os.str()};
+}
+
+}  // namespace detail
+}  // namespace pelta
+
+/// Check a precondition / invariant; throws pelta::error when violated.
+#define PELTA_CHECK(expr)                                                   \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::pelta::detail::raise_check_failure(#expr, __FILE__, __LINE__, {});  \
+  } while (false)
+
+/// Same as PELTA_CHECK but with a streamed message, e.g.
+///   PELTA_CHECK_MSG(a == b, "shape mismatch: " << a << " vs " << b);
+#define PELTA_CHECK_MSG(expr, stream_expr)                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream pelta_check_os_;                                   \
+      pelta_check_os_ << stream_expr;                                       \
+      ::pelta::detail::raise_check_failure(#expr, __FILE__, __LINE__,       \
+                                           pelta_check_os_.str());          \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,341 @@
+#include "tensor/conv.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pelta::ops {
+
+namespace {
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t k, std::int64_t stride, std::int64_t pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+// im2col: expand one image [C,H,W] into a column matrix
+// [C*KH*KW, OH*OW] so the convolution becomes a single matmul.
+void im2col(const float* img, float* cols, std::int64_t c, std::int64_t h, std::int64_t w,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride, std::int64_t pad,
+            std::int64_t oh, std::int64_t ow) {
+  const std::int64_t spatial = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t ci = 0; ci < c; ++ci)
+    for (std::int64_t ky = 0; ky < kh; ++ky)
+      for (std::int64_t kx = 0; kx < kw; ++kx, ++row) {
+        float* dst = cols + row * spatial;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * stride - pad + ky;
+          if (iy < 0 || iy >= h) {
+            for (std::int64_t x = 0; x < ow; ++x) dst[y * ow + x] = 0.0f;
+            continue;
+          }
+          const float* src = img + (ci * h + iy) * w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * stride - pad + kx;
+            dst[y * ow + x] = (ix < 0 || ix >= w) ? 0.0f : src[ix];
+          }
+        }
+      }
+}
+
+// col2im: scatter-add a column matrix back into an image (adjoint of im2col).
+void col2im(const float* cols, float* img, std::int64_t c, std::int64_t h, std::int64_t w,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride, std::int64_t pad,
+            std::int64_t oh, std::int64_t ow) {
+  const std::int64_t spatial = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t ci = 0; ci < c; ++ci)
+    for (std::int64_t ky = 0; ky < kh; ++ky)
+      for (std::int64_t kx = 0; kx < kw; ++kx, ++row) {
+        const float* src = cols + row * spatial;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * stride - pad + ky;
+          if (iy < 0 || iy >= h) continue;
+          float* dst = img + (ci * h + iy) * w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * stride - pad + kx;
+            if (ix >= 0 && ix < w) dst[ix] += src[y * ow + x];
+          }
+        }
+      }
+}
+
+// Cache-friendly i-k-j matmul: out[m,n] += a[m,k] * b[k,n].
+void gemm_accumulate(const float* a, const float* b, float* out, std::int64_t m, std::int64_t k,
+                     std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+tensor conv2d(const tensor& input, const tensor& weight, const tensor& bias, std::int64_t stride,
+              std::int64_t pad) {
+  PELTA_CHECK_MSG(input.ndim() == 4 && weight.ndim() == 4,
+                  "conv2d shapes " << to_string(input.shape()) << ", " << to_string(weight.shape()));
+  const std::int64_t b = input.size(0), c = input.size(1), h = input.size(2), w = input.size(3);
+  const std::int64_t oc = weight.size(0), kc = weight.size(1), kh = weight.size(2),
+                     kw = weight.size(3);
+  PELTA_CHECK_MSG(kc == c, "conv2d channel mismatch " << kc << " vs " << c);
+  const bool has_bias = bias.numel() == oc && bias.ndim() == 1;
+  if (bias.numel() != 0) PELTA_CHECK_MSG(has_bias, "conv2d bias shape " << to_string(bias.shape()));
+  const std::int64_t oh = conv_out_dim(h, kh, stride, pad);
+  const std::int64_t ow = conv_out_dim(w, kw, stride, pad);
+  PELTA_CHECK_MSG(oh > 0 && ow > 0, "conv2d output collapsed");
+
+  // im2col + GEMM: out[n] = W [OC, C*KH*KW] x cols [C*KH*KW, OH*OW].
+  const std::int64_t krows = c * kh * kw, spatial = oh * ow;
+  std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
+  tensor out{shape_t{b, oc, oh, ow}};
+  const float* in = input.data().data();
+  const float* wt = weight.data().data();
+  float* op = out.data().data();
+  for (std::int64_t n = 0; n < b; ++n) {
+    im2col(in + n * c * h * w, cols.data(), c, h, w, kh, kw, stride, pad, oh, ow);
+    float* obase = op + n * oc * spatial;
+    if (has_bias)
+      for (std::int64_t o = 0; o < oc; ++o)
+        for (std::int64_t s = 0; s < spatial; ++s) obase[o * spatial + s] = bias[o];
+    gemm_accumulate(wt, cols.data(), obase, oc, krows, spatial);
+  }
+  return out;
+}
+
+tensor conv2d_backward_input(const tensor& grad_out, const tensor& weight, std::int64_t stride,
+                             std::int64_t pad, const shape_t& input_shape) {
+  PELTA_CHECK(grad_out.ndim() == 4 && weight.ndim() == 4 && input_shape.size() == 4);
+  const std::int64_t b = input_shape[0], c = input_shape[1], h = input_shape[2], w = input_shape[3];
+  const std::int64_t oc = weight.size(0), kh = weight.size(2), kw = weight.size(3);
+  const std::int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+  PELTA_CHECK(grad_out.size(0) == b && grad_out.size(1) == oc && weight.size(1) == c);
+
+  // cols_grad [C*KH*KW, OH*OW] = Wᵀ [C*KH*KW, OC] x grad_out [OC, OH*OW];
+  // then col2im scatters back into the image.
+  const std::int64_t krows = c * kh * kw, spatial = oh * ow;
+  // Transposed weight view, materialized once.
+  std::vector<float> wt_t(static_cast<std::size_t>(krows * oc));
+  {
+    const float* wt = weight.data().data();
+    for (std::int64_t o = 0; o < oc; ++o)
+      for (std::int64_t r = 0; r < krows; ++r)
+        wt_t[static_cast<std::size_t>(r * oc + o)] = wt[o * krows + r];
+  }
+  std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
+  tensor grad_in{input_shape};
+  const float* go = grad_out.data().data();
+  float* gi = grad_in.data().data();
+  for (std::int64_t n = 0; n < b; ++n) {
+    std::fill(cols.begin(), cols.end(), 0.0f);
+    gemm_accumulate(wt_t.data(), go + n * oc * spatial, cols.data(), krows, oc, spatial);
+    col2im(cols.data(), gi + n * c * h * w, c, h, w, kh, kw, stride, pad, oh, ow);
+  }
+  return grad_in;
+}
+
+tensor conv2d_backward_weight(const tensor& grad_out, const tensor& input, std::int64_t stride,
+                              std::int64_t pad, const shape_t& weight_shape) {
+  PELTA_CHECK(grad_out.ndim() == 4 && input.ndim() == 4 && weight_shape.size() == 4);
+  const std::int64_t b = input.size(0), c = input.size(1), h = input.size(2), w = input.size(3);
+  const std::int64_t oc = weight_shape[0], kh = weight_shape[2], kw = weight_shape[3];
+  const std::int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+  PELTA_CHECK(weight_shape[1] == c && grad_out.size(1) == oc);
+
+  // grad_W [OC, C*KH*KW] += grad_out [OC, OH*OW] x colsᵀ [OH*OW, C*KH*KW].
+  const std::int64_t krows = c * kh * kw, spatial = oh * ow;
+  std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
+  std::vector<float> cols_t(static_cast<std::size_t>(spatial * krows));
+  tensor grad_w{weight_shape};
+  const float* go = grad_out.data().data();
+  const float* in = input.data().data();
+  float* gw = grad_w.data().data();
+  for (std::int64_t n = 0; n < b; ++n) {
+    im2col(in + n * c * h * w, cols.data(), c, h, w, kh, kw, stride, pad, oh, ow);
+    for (std::int64_t r = 0; r < krows; ++r)
+      for (std::int64_t s = 0; s < spatial; ++s)
+        cols_t[static_cast<std::size_t>(s * krows + r)] =
+            cols[static_cast<std::size_t>(r * spatial + s)];
+    gemm_accumulate(go + n * oc * spatial, cols_t.data(), gw, oc, spatial, krows);
+  }
+  return grad_w;
+}
+
+tensor conv2d_backward_bias(const tensor& grad_out) {
+  PELTA_CHECK(grad_out.ndim() == 4);
+  const std::int64_t b = grad_out.size(0), oc = grad_out.size(1),
+                     spatial = grad_out.size(2) * grad_out.size(3);
+  tensor grad_b{shape_t{oc}};
+  const float* go = grad_out.data().data();
+  for (std::int64_t n = 0; n < b; ++n)
+    for (std::int64_t o = 0; o < oc; ++o) {
+      double acc = 0.0;
+      const float* base = go + (n * oc + o) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) acc += base[s];
+      grad_b[o] += static_cast<float>(acc);
+    }
+  return grad_b;
+}
+
+tensor conv2d_transpose(const tensor& input, const tensor& weight, std::int64_t stride,
+                        std::int64_t pad) {
+  PELTA_CHECK_MSG(input.ndim() == 4 && weight.ndim() == 4,
+                  "conv2d_transpose shapes " << to_string(input.shape()) << ", "
+                                             << to_string(weight.shape()));
+  const std::int64_t b = input.size(0), c = input.size(1), h = input.size(2), w = input.size(3);
+  PELTA_CHECK_MSG(weight.size(0) == c, "conv2d_transpose channel mismatch");
+  const std::int64_t oc = weight.size(1), kh = weight.size(2), kw = weight.size(3);
+  const std::int64_t oh = (h - 1) * stride - 2 * pad + kh;
+  const std::int64_t ow = (w - 1) * stride - 2 * pad + kw;
+  PELTA_CHECK_MSG(oh > 0 && ow > 0, "conv2d_transpose output collapsed");
+
+  tensor out{shape_t{b, oc, oh, ow}};
+  const float* in = input.data().data();
+  const float* wt = weight.data().data();
+  float* op = out.data().data();
+  for (std::int64_t n = 0; n < b; ++n) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          const float v = in[((n * c + ci) * h + y) * w + x];
+          if (v == 0.0f) continue;
+          for (std::int64_t o = 0; o < oc; ++o) {
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t oy = y * stride - pad + ky;
+              if (oy < 0 || oy >= oh) continue;
+              float* out_row = op + ((n * oc + o) * oh + oy) * ow;
+              const float* wt_row = wt + ((ci * oc + o) * kh + ky) * kw;
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ox = x * stride - pad + kx;
+                if (ox < 0 || ox >= ow) continue;
+                out_row[ox] += v * wt_row[kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+maxpool_result maxpool2x2(const tensor& input) {
+  PELTA_CHECK(input.ndim() == 4);
+  const std::int64_t b = input.size(0), c = input.size(1), h = input.size(2), w = input.size(3);
+  PELTA_CHECK_MSG(h % 2 == 0 && w % 2 == 0, "maxpool2x2 needs even spatial dims, got "
+                                                << to_string(input.shape()));
+  const std::int64_t oh = h / 2, ow = w / 2;
+  maxpool_result r{tensor{shape_t{b, c, oh, ow}}, tensor{shape_t{b, c, oh, ow}}};
+  const float* in = input.data().data();
+  float* op = r.output.data().data();
+  float* ix = r.indices.data().data();
+  for (std::int64_t n = 0; n < b; ++n)
+    for (std::int64_t ci = 0; ci < c; ++ci)
+      for (std::int64_t y = 0; y < oh; ++y)
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float best = -1e30f;
+          std::int64_t best_idx = 0;
+          for (std::int64_t dy = 0; dy < 2; ++dy)
+            for (std::int64_t dx = 0; dx < 2; ++dx) {
+              const std::int64_t idx = ((n * c + ci) * h + (2 * y + dy)) * w + (2 * x + dx);
+              if (in[idx] > best) {
+                best = in[idx];
+                best_idx = idx;
+              }
+            }
+          const std::int64_t oidx = ((n * c + ci) * oh + y) * ow + x;
+          op[oidx] = best;
+          ix[oidx] = static_cast<float>(best_idx);
+        }
+  return r;
+}
+
+tensor maxpool2x2_backward(const tensor& grad_out, const tensor& indices,
+                           const shape_t& input_shape) {
+  PELTA_CHECK(grad_out.same_shape(indices));
+  tensor grad_in{input_shape};
+  auto go = grad_out.data();
+  auto ix = indices.data();
+  auto gi = grad_in.data();
+  for (std::size_t i = 0; i < go.size(); ++i)
+    gi[static_cast<std::size_t>(ix[i])] += go[i];
+  return grad_in;
+}
+
+tensor global_avgpool(const tensor& input) {
+  PELTA_CHECK(input.ndim() == 4);
+  const std::int64_t b = input.size(0), c = input.size(1),
+                     spatial = input.size(2) * input.size(3);
+  tensor out{shape_t{b, c}};
+  const float* in = input.data().data();
+  for (std::int64_t n = 0; n < b; ++n)
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      double acc = 0.0;
+      const float* base = in + (n * c + ci) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) acc += base[s];
+      out.at(n, ci) = static_cast<float>(acc / static_cast<double>(spatial));
+    }
+  return out;
+}
+
+tensor global_avgpool_backward(const tensor& grad_out, const shape_t& input_shape) {
+  PELTA_CHECK(grad_out.ndim() == 2 && input_shape.size() == 4);
+  const std::int64_t b = input_shape[0], c = input_shape[1],
+                     spatial = input_shape[2] * input_shape[3];
+  PELTA_CHECK(grad_out.size(0) == b && grad_out.size(1) == c);
+  tensor grad_in{input_shape};
+  float* gi = grad_in.data().data();
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (std::int64_t n = 0; n < b; ++n)
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float g = grad_out.at(n, ci) * inv;
+      float* base = gi + (n * c + ci) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) base[s] = g;
+    }
+  return grad_in;
+}
+
+tensor upsample_bilinear(const tensor& input, std::int64_t factor) {
+  PELTA_CHECK_MSG(factor >= 1, "upsample factor must be >= 1");
+  const bool batched = input.ndim() == 4;
+  PELTA_CHECK_MSG(batched || input.ndim() == 3,
+                  "upsample_bilinear expects [C,H,W] or [B,C,H,W]");
+  const std::int64_t b = batched ? input.size(0) : 1;
+  const std::int64_t c = input.size(batched ? 1 : 0);
+  const std::int64_t h = input.size(batched ? 2 : 1);
+  const std::int64_t w = input.size(batched ? 3 : 2);
+  const std::int64_t oh = h * factor, ow = w * factor;
+  shape_t out_shape = batched ? shape_t{b, c, oh, ow} : shape_t{c, oh, ow};
+  tensor out{out_shape};
+  const float* in = input.data().data();
+  float* op = out.data().data();
+  for (std::int64_t n = 0; n < b; ++n)
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float* src = in + (n * c + ci) * h * w;
+      float* dst = op + (n * c + ci) * oh * ow;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        // map output pixel centre back into source coordinates
+        const float sy = (static_cast<float>(y) + 0.5f) / static_cast<float>(factor) - 0.5f;
+        const std::int64_t y0 = std::clamp<std::int64_t>(static_cast<std::int64_t>(std::floor(sy)), 0, h - 1);
+        const std::int64_t y1 = std::min<std::int64_t>(y0 + 1, h - 1);
+        const float fy = std::clamp(sy - static_cast<float>(y0), 0.0f, 1.0f);
+        for (std::int64_t x = 0; x < ow; ++x) {
+          const float sx = (static_cast<float>(x) + 0.5f) / static_cast<float>(factor) - 0.5f;
+          const std::int64_t x0 = std::clamp<std::int64_t>(static_cast<std::int64_t>(std::floor(sx)), 0, w - 1);
+          const std::int64_t x1 = std::min<std::int64_t>(x0 + 1, w - 1);
+          const float fx = std::clamp(sx - static_cast<float>(x0), 0.0f, 1.0f);
+          const float v00 = src[y0 * w + x0], v01 = src[y0 * w + x1];
+          const float v10 = src[y1 * w + x0], v11 = src[y1 * w + x1];
+          dst[y * ow + x] = (1 - fy) * ((1 - fx) * v00 + fx * v01) + fy * ((1 - fx) * v10 + fx * v11);
+        }
+      }
+    }
+  return out;
+}
+
+}  // namespace pelta::ops

@@ -1,0 +1,50 @@
+// Convolution and pooling kernels over NCHW tensors.
+//
+// Direct (non-im2col) loops — the simulated models are small, and direct
+// kernels keep the backward passes easy to audit against finite differences.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace pelta::ops {
+
+/// Forward 2-d convolution.
+///   input  [B, C, H, W], weight [OC, C, KH, KW], bias [OC] (may be empty
+///   tensor with numel 0-interpreted as shape [0]).
+/// Zero padding `pad` on every side, square stride `stride`.
+tensor conv2d(const tensor& input, const tensor& weight, const tensor& bias, std::int64_t stride,
+              std::int64_t pad);
+
+/// Gradients of conv2d. Returns d_input; writes d_weight/d_bias if non-null.
+tensor conv2d_backward_input(const tensor& grad_out, const tensor& weight, std::int64_t stride,
+                             std::int64_t pad, const shape_t& input_shape);
+tensor conv2d_backward_weight(const tensor& grad_out, const tensor& input, std::int64_t stride,
+                              std::int64_t pad, const shape_t& weight_shape);
+tensor conv2d_backward_bias(const tensor& grad_out);
+
+/// Transposed convolution ("deconvolution", Dumoulin & Visin): the geometric
+/// upsampling used by the PELTA attacker to lift the clear-layer adjoint
+/// back to input shape (§V-B). input [B, C, H, W], weight [C, OC, KH, KW].
+/// Output spatial size: (H-1)*stride - 2*pad + KH.
+tensor conv2d_transpose(const tensor& input, const tensor& weight, std::int64_t stride,
+                        std::int64_t pad);
+
+/// 2x2 max pooling with stride 2; also returns flat argmax indices for the
+/// backward pass (same shape as the output).
+struct maxpool_result {
+  tensor output;
+  tensor indices;  // flat index into the input window source, as float
+};
+maxpool_result maxpool2x2(const tensor& input);
+tensor maxpool2x2_backward(const tensor& grad_out, const tensor& indices,
+                           const shape_t& input_shape);
+
+/// Global average pooling: [B, C, H, W] -> [B, C].
+tensor global_avgpool(const tensor& input);
+tensor global_avgpool_backward(const tensor& grad_out, const shape_t& input_shape);
+
+/// Nearest-neighbour / bilinear upsampling of [C, H, W] or [B, C, H, W] by an
+/// integer factor (used by the synthetic dataset generator).
+tensor upsample_bilinear(const tensor& input, std::int64_t factor);
+
+}  // namespace pelta::ops

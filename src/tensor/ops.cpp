@@ -1,0 +1,223 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pelta::ops {
+
+namespace {
+
+tensor zip(const tensor& a, const tensor& b, const char* what, float (*f)(float, float)) {
+  PELTA_CHECK_MSG(a.same_shape(b), what << " shape mismatch " << to_string(a.shape()) << " vs "
+                                        << to_string(b.shape()));
+  tensor out{a.shape()};
+  auto pa = a.data();
+  auto pb = b.data();
+  auto po = out.data();
+  for (std::size_t i = 0; i < po.size(); ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+tensor unary(const tensor& a, float (*f)(float)) {
+  tensor out{a.shape()};
+  auto pa = a.data();
+  auto po = out.data();
+  for (std::size_t i = 0; i < po.size(); ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+tensor add(const tensor& a, const tensor& b) {
+  return zip(a, b, "add", [](float x, float y) { return x + y; });
+}
+tensor sub(const tensor& a, const tensor& b) {
+  return zip(a, b, "sub", [](float x, float y) { return x - y; });
+}
+tensor mul(const tensor& a, const tensor& b) {
+  return zip(a, b, "mul", [](float x, float y) { return x * y; });
+}
+tensor div(const tensor& a, const tensor& b) {
+  return zip(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+tensor add_scalar(const tensor& a, float s) {
+  tensor out = a;
+  for (float& x : out.data()) x += s;
+  return out;
+}
+
+tensor mul_scalar(const tensor& a, float s) {
+  tensor out = a;
+  for (float& x : out.data()) x *= s;
+  return out;
+}
+
+tensor neg(const tensor& a) {
+  return unary(a, [](float x) { return -x; });
+}
+tensor relu(const tensor& a) {
+  return unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+tensor exp(const tensor& a) {
+  return unary(a, [](float x) { return std::exp(x); });
+}
+tensor log(const tensor& a) {
+  return unary(a, [](float x) { return std::log(x); });
+}
+tensor sqrt(const tensor& a) {
+  return unary(a, [](float x) { return std::sqrt(x); });
+}
+tensor tanh(const tensor& a) {
+  return unary(a, [](float x) { return std::tanh(x); });
+}
+tensor abs(const tensor& a) {
+  return unary(a, [](float x) { return std::fabs(x); });
+}
+tensor sign(const tensor& a) {
+  return unary(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+
+tensor clamp(const tensor& a, float lo, float hi) {
+  tensor out = a;
+  out.clamp_(lo, hi);
+  return out;
+}
+
+tensor map(const tensor& a, const std::function<float(float)>& f) {
+  tensor out{a.shape()};
+  auto pa = a.data();
+  auto po = out.data();
+  for (std::size_t i = 0; i < po.size(); ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+float sum(const tensor& a) {
+  double acc = 0.0;  // double accumulator for numerical stability
+  for (float x : a.data()) acc += x;
+  return static_cast<float>(acc);
+}
+
+float mean(const tensor& a) {
+  PELTA_CHECK(a.numel() > 0);
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max(const tensor& a) {
+  PELTA_CHECK(a.numel() > 0);
+  return *std::max_element(a.data().begin(), a.data().end());
+}
+
+float min(const tensor& a) {
+  PELTA_CHECK(a.numel() > 0);
+  return *std::min_element(a.data().begin(), a.data().end());
+}
+
+std::int64_t argmax(const tensor& a) {
+  PELTA_CHECK(a.numel() > 0);
+  auto d = a.data();
+  return static_cast<std::int64_t>(std::max_element(d.begin(), d.end()) - d.begin());
+}
+
+tensor argmax_lastdim(const tensor& a) {
+  PELTA_CHECK_MSG(a.ndim() >= 1, "argmax_lastdim on scalar");
+  const std::int64_t last = a.size(-1);
+  const std::int64_t rows = a.numel() / last;
+  shape_t out_shape{a.shape().begin(), a.shape().end() - 1};
+  tensor out{out_shape};
+  auto pa = a.data();
+  auto po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = pa.data() + r * last;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < last; ++c)
+      if (row[c] > row[best]) best = c;
+    po[static_cast<std::size_t>(r)] = static_cast<float>(best);
+  }
+  return out;
+}
+
+float norm_l2(const tensor& a) {
+  double acc = 0.0;
+  for (float x : a.data()) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float norm_linf(const tensor& a) {
+  float m = 0.0f;
+  for (float x : a.data()) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+float dot(const tensor& a, const tensor& b) {
+  PELTA_CHECK_MSG(a.same_shape(b), "dot shape mismatch");
+  double acc = 0.0;
+  auto pa = a.data();
+  auto pb = b.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) acc += static_cast<double>(pa[i]) * pb[i];
+  return static_cast<float>(acc);
+}
+
+namespace {
+
+// Cache-friendly i-k-j kernel; out must be zero-initialized [M,N].
+void matmul_accumulate(const float* a, const float* b, float* out, std::int64_t m, std::int64_t k,
+                       std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+tensor matmul(const tensor& a, const tensor& b) {
+  PELTA_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2,
+                  "matmul expects 2-d, got " << to_string(a.shape()) << " x " << to_string(b.shape()));
+  PELTA_CHECK_MSG(a.size(1) == b.size(0),
+                  "matmul inner dim mismatch " << to_string(a.shape()) << " x " << to_string(b.shape()));
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  tensor out{shape_t{m, n}};
+  matmul_accumulate(a.data().data(), b.data().data(), out.data().data(), m, k, n);
+  return out;
+}
+
+tensor bmm(const tensor& a, const tensor& b) {
+  PELTA_CHECK_MSG(a.ndim() == 3 && b.ndim() == 3,
+                  "bmm expects 3-d, got " << to_string(a.shape()) << " x " << to_string(b.shape()));
+  PELTA_CHECK_MSG(a.size(0) == b.size(0) && a.size(2) == b.size(1),
+                  "bmm shape mismatch " << to_string(a.shape()) << " x " << to_string(b.shape()));
+  const std::int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
+  tensor out{shape_t{bt, m, n}};
+  for (std::int64_t i = 0; i < bt; ++i)
+    matmul_accumulate(a.data().data() + i * m * k, b.data().data() + i * k * n,
+                      out.data().data() + i * m * n, m, k, n);
+  return out;
+}
+
+tensor transpose2d(const tensor& a) {
+  PELTA_CHECK_MSG(a.ndim() == 2, "transpose2d on " << to_string(a.shape()));
+  const std::int64_t m = a.size(0), n = a.size(1);
+  tensor out{shape_t{n, m}};
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  return out;
+}
+
+tensor transpose_last2(const tensor& a) {
+  PELTA_CHECK_MSG(a.ndim() == 3, "transpose_last2 on " << to_string(a.shape()));
+  const std::int64_t b = a.size(0), m = a.size(1), n = a.size(2);
+  tensor out{shape_t{b, n, m}};
+  for (std::int64_t t = 0; t < b; ++t)
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j) out.at(t, j, i) = a.at(t, i, j);
+  return out;
+}
+
+}  // namespace pelta::ops

@@ -1,0 +1,70 @@
+// Dense tensor kernels: elementwise maps, reductions, matrix products.
+//
+// These free functions are the numeric backbone used by the autodiff ops;
+// they perform full shape checking and always return fresh tensors.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace pelta::ops {
+
+// ---- elementwise binary -----------------------------------------------------
+
+tensor add(const tensor& a, const tensor& b);
+tensor sub(const tensor& a, const tensor& b);
+tensor mul(const tensor& a, const tensor& b);
+tensor div(const tensor& a, const tensor& b);
+
+// ---- scalar -----------------------------------------------------------------
+
+tensor add_scalar(const tensor& a, float s);
+tensor mul_scalar(const tensor& a, float s);
+
+// ---- elementwise unary --------------------------------------------------------
+
+tensor neg(const tensor& a);
+tensor relu(const tensor& a);
+tensor exp(const tensor& a);
+tensor log(const tensor& a);
+tensor sqrt(const tensor& a);
+tensor tanh(const tensor& a);
+tensor abs(const tensor& a);
+/// -1, 0 or +1 per element (the FGSM/PGD "sign" operator).
+tensor sign(const tensor& a);
+tensor clamp(const tensor& a, float lo, float hi);
+/// Apply an arbitrary float->float map (used by tests and data generation).
+tensor map(const tensor& a, const std::function<float(float)>& f);
+
+// ---- reductions ---------------------------------------------------------------
+
+float sum(const tensor& a);
+float mean(const tensor& a);
+float max(const tensor& a);
+float min(const tensor& a);
+/// Index of the maximum element (flat index).
+std::int64_t argmax(const tensor& a);
+/// Argmax over the last dimension; returns a tensor of indices-as-floats with
+/// the leading shape. For logits [B, C] this yields predictions [B].
+tensor argmax_lastdim(const tensor& a);
+
+/// l2 norm of the whole tensor.
+float norm_l2(const tensor& a);
+/// l-infinity norm of the whole tensor.
+float norm_linf(const tensor& a);
+/// Dot product of two same-shape tensors.
+float dot(const tensor& a, const tensor& b);
+
+// ---- linear algebra -------------------------------------------------------------
+
+/// [M,K] x [K,N] -> [M,N].
+tensor matmul(const tensor& a, const tensor& b);
+/// Batched [B,M,K] x [B,K,N] -> [B,M,N].
+tensor bmm(const tensor& a, const tensor& b);
+/// [M,N] -> [N,M].
+tensor transpose2d(const tensor& a);
+/// [B,M,N] -> [B,N,M].
+tensor transpose_last2(const tensor& a);
+
+}  // namespace pelta::ops

@@ -1,0 +1,56 @@
+#include "tensor/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pelta {
+
+int parallel_thread_count() {
+  static const int count = [] {
+    if (const char* env = std::getenv("PELTA_THREADS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return count;
+}
+
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body) {
+  if (n <= 0) return;
+  const int threads = static_cast<int>(std::min<std::int64_t>(parallel_thread_count(), n));
+  if (threads == 1) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::int64_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pelta

@@ -1,0 +1,20 @@
+// Minimal deterministic parallel-for used by the attack evaluation harness.
+//
+// Work items are indexed; each item derives its own rng stream from the
+// experiment seed, so results are identical regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace pelta {
+
+/// Number of worker threads used by parallel_for. Defaults to the hardware
+/// concurrency, overridable via the PELTA_THREADS environment variable.
+int parallel_thread_count();
+
+/// Run body(i) for i in [0, n) across the pool. Exceptions thrown by any
+/// body are captured and rethrown (first one wins) after all workers join.
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body);
+
+}  // namespace pelta

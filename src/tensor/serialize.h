@@ -1,0 +1,29 @@
+// Tensor <-> byte-buffer serialization.
+//
+// Used by the FL substrate (model updates on the wire) and by the TEE
+// secure channel (marshalling across the world boundary, where byte counts
+// feed the §VI overhead study).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pelta {
+
+using byte_buffer = std::vector<std::uint8_t>;
+
+/// Append a tensor (rank, extents, payload) to `out`; returns bytes written.
+std::size_t serialize_tensor(const tensor& t, byte_buffer& out);
+
+/// Read one tensor from `buf` starting at `offset`; advances `offset`.
+/// Throws pelta::error on truncated or malformed input.
+tensor deserialize_tensor(const byte_buffer& buf, std::size_t& offset);
+
+/// Convenience: one tensor to a fresh buffer / from a whole buffer.
+byte_buffer to_bytes(const tensor& t);
+tensor from_bytes(const byte_buffer& buf);
+
+}  // namespace pelta

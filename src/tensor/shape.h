@@ -1,0 +1,51 @@
+// Tensor shape type and row-major index arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace pelta {
+
+/// Row-major tensor shape. Empty shape denotes a scalar (numel == 1).
+using shape_t = std::vector<std::int64_t>;
+
+/// Number of elements described by a shape (product of extents).
+inline std::int64_t numel_of(const shape_t& s) {
+  std::int64_t n = 1;
+  for (std::int64_t d : s) {
+    PELTA_CHECK_MSG(d >= 0, "negative extent " << d);
+    n *= d;
+  }
+  return n;
+}
+
+/// Human-readable shape, e.g. "[2, 3, 4]".
+inline std::string to_string(const shape_t& s) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(s[i]);
+  }
+  out += "]";
+  return out;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const shape_t& s) {
+  return os << to_string(s);
+}
+
+/// Row-major strides for a shape (innermost dimension has stride 1).
+inline shape_t strides_of(const shape_t& s) {
+  shape_t st(s.size(), 1);
+  for (int i = static_cast<int>(s.size()) - 2; i >= 0; --i)
+    st[i] = st[i + 1] * s[i + 1];
+  return st;
+}
+
+}  // namespace pelta

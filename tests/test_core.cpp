@@ -1,0 +1,114 @@
+// Public API: defended_model, Table I measurement, table formatting.
+#include <gtest/gtest.h>
+
+#include "core/pelta.h"
+#include "core/table.h"
+#include "models/trainer.h"
+#include "models/zoo.h"
+
+namespace pelta {
+namespace {
+
+models::task_spec tiny_task() {
+  models::task_spec t;
+  t.classes = 4;
+  return t;
+}
+
+TEST(DefendedModel, ClassifyMatchesUnderlyingModel) {
+  data::dataset_config dc = data::cifar10_like();
+  dc.classes = 4;
+  dc.train_per_class = 30;
+  dc.test_per_class = 8;
+  const data::dataset ds{dc};
+
+  defended_model defended{models::make_vit_b16_sim(tiny_task())};
+  models::train_config tc;
+  tc.epochs = 6;
+  models::train_model(defended.model(), ds, tc);
+
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(defended.classify(ds.test_image(i)),
+              models::predict_one(defended.model(), ds.test_image(i)));
+  }
+  // Shielded inference populated the enclave.
+  EXPECT_GT(defended.enclave().used_bytes(), 0);
+}
+
+TEST(DefendedModel, ShieldCostConsistency) {
+  defended_model defended{models::make_vit_b16_sim(tiny_task())};
+  rng g{1};
+  const tensor probe = tensor::rand_uniform(g, {3, 16, 16});
+
+  const auto cost = defended.measure_shield_cost(probe, /*with_gradients=*/true);
+  EXPECT_EQ(cost.tee_bytes,
+            cost.bytes_activations + cost.bytes_gradients + cost.bytes_parameters);
+  EXPECT_GT(cost.bytes_gradients, 0);  // gradients were produced
+  EXPECT_GT(cost.masked_parameters, 0);
+  EXPECT_LT(cost.masked_parameters, cost.total_parameters);
+  EXPECT_GT(cost.shielded_portion, 0.0);
+  EXPECT_LT(cost.shielded_portion, 1.0);
+  EXPECT_GT(cost.jacobian_records, 0);
+
+  // Inference-only case strictly cheaper (no adjoints in the enclave).
+  const auto inference = defended.measure_shield_cost(probe, /*with_gradients=*/false);
+  EXPECT_LT(inference.tee_bytes, cost.tee_bytes);
+  EXPECT_EQ(inference.bytes_gradients, 0);
+}
+
+TEST(DefendedModel, AttackerOracleIsShielded) {
+  data::dataset_config dc = data::cifar10_like();
+  dc.classes = 4;
+  dc.train_per_class = 20;
+  dc.test_per_class = 5;
+  const data::dataset ds{dc};
+  defended_model defended{models::make_vit_b16_sim(tiny_task())};
+
+  auto oracle = defended.attacker_oracle(33);
+  const auto q = oracle->query(ds.test_image(0), ds.test_label(0));
+  EXPECT_TRUE(q.gradient.same_shape(ds.test_image(0)));
+}
+
+TEST(DefendedModel, Version) {
+  EXPECT_NE(std::string{version()}.find("pelta"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumnsAndSeparators) {
+  text_table t;
+  t.set_header({"Model", "Acc"});
+  t.add_row({"ViT-L/16", "99.4%"});
+  t.add_separator();
+  t.add_row({"BiT", "98.8%"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("ViT-L/16"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  // Column alignment: "Acc" and the accuracy cells start at the same column.
+  const auto col_of = [&](const std::string& needle) {
+    const auto pos = s.find(needle);
+    const auto line_start = s.rfind('\n', pos);
+    return pos - (line_start == std::string::npos ? 0 : line_start + 1);
+  };
+  EXPECT_EQ(col_of("Acc"), col_of("99.4%"));
+  EXPECT_EQ(col_of("Acc"), col_of("98.8%"));
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(pct(0.994), "99.4%");
+  EXPECT_EQ(pct(0.0), "0.0%");
+  EXPECT_EQ(pct(1.0), "100.0%");
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.0 KB");
+  EXPECT_EQ(human_bytes(15898624), "15.16 MB");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace pelta

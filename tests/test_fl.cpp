@@ -1,0 +1,234 @@
+// Federated-learning substrate: sharding, FedAvg, rounds, the compromised
+// client of Fig. 1, and network accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fl/federation.h"
+#include "models/trainer.h"
+#include "models/vit.h"
+#include "tensor/ops.h"
+
+namespace pelta::fl {
+namespace {
+
+data::dataset small_dataset() {
+  data::dataset_config c = data::cifar10_like();
+  c.classes = 4;
+  c.train_per_class = 30;
+  c.test_per_class = 10;
+  return data::dataset{c};
+}
+
+model_factory tiny_vit_factory() {
+  return [] {
+    models::vit_config c;
+    c.name = "fl-vit";
+    c.image_size = 16;
+    c.patch_size = 4;
+    c.dim = 16;
+    c.heads = 2;
+    c.blocks = 1;
+    c.mlp_hidden = 32;
+    c.classes = 4;
+    c.seed = 31;  // identical initial params on server and clients
+    return std::make_unique<models::vit_model>(c);
+  };
+}
+
+TEST(Network, RecordsMessagesBytesLatency) {
+  network net{2.0, 1000.0};
+  const double ns = net.record(500);
+  EXPECT_NEAR(ns, 1000.0 + 1000.0, 1e-9);
+  net.record(100);
+  EXPECT_EQ(net.stats().messages, 2);
+  EXPECT_EQ(net.stats().bytes, 600);
+  net.reset();
+  EXPECT_EQ(net.stats().messages, 0);
+}
+
+TEST(Client, ReceiveGlobalInstallsParameters) {
+  const data::dataset ds = small_dataset();
+  auto m1 = tiny_vit_factory()();
+  auto m2 = tiny_vit_factory()();
+  rng g{1};
+  m1->params().get("head.w").value = tensor::randn(g, {16, 4});
+  const byte_buffer payload = m1->params().save_values();
+
+  fl_client client{0, std::move(m2), {0, 1, 2, 3}, ds};
+  client.receive_global(payload);
+  const tensor& w = client.local_model().params().get("head.w").value;
+  EXPECT_FLOAT_EQ(w[0], m1->params().get("head.w").value[0]);
+}
+
+TEST(Client, LocalUpdateTrainsOnShard) {
+  const data::dataset ds = small_dataset();
+  fl_client client{0, tiny_vit_factory()(), {0, 1, 2, 3, 30, 31, 60, 61, 90, 91}, ds};
+  const byte_buffer before = client.local_model().params().save_values();
+
+  local_train_config cfg;
+  cfg.epochs = 2;
+  const model_update u = client.local_update(cfg);
+  EXPECT_EQ(u.client_id, 0);
+  EXPECT_EQ(u.sample_count, 10);
+  EXPECT_NE(u.parameters, before);  // parameters moved
+}
+
+TEST(Client, EmptyShardRejected) {
+  const data::dataset ds = small_dataset();
+  EXPECT_THROW((fl_client{0, tiny_vit_factory()(), {}, ds}), error);
+}
+
+TEST(Server, FedAvgExactWeightedMean) {
+  auto global = tiny_vit_factory()();
+  nn::param_store& gp = global->params();
+  const std::size_t n_params = gp.size();
+  fl_server server{std::move(global)};
+
+  // Two synthetic updates: all-ones (10 samples) and all-fives (30 samples);
+  // FedAvg must land at 0.25*1 + 0.75*5 = 4.
+  auto a = tiny_vit_factory()();
+  auto b = tiny_vit_factory()();
+  for (std::size_t k = 0; k < n_params; ++k) {
+    a->params().at(k).value.fill_(1.0f);
+    b->params().at(k).value.fill_(5.0f);
+  }
+  model_update ua{0, 10, a->params().save_values()};
+  model_update ub{1, 30, b->params().save_values()};
+  server.aggregate({ua, ub});
+
+  for (std::size_t k = 0; k < n_params; ++k)
+    for (float v : server.global_model().params().at(k).value.data())
+      ASSERT_NEAR(v, 4.0f, 1e-5f);
+  EXPECT_EQ(server.round(), 1);
+}
+
+TEST(Server, RejectsEmptyAndMalformedUpdates) {
+  fl_server server{tiny_vit_factory()()};
+  EXPECT_THROW(server.aggregate({}), error);
+  model_update bad{0, 4, byte_buffer{1, 2, 3}};
+  EXPECT_THROW(server.aggregate({bad}), error);
+  model_update zero{0, 0, server.broadcast()};
+  EXPECT_THROW(server.aggregate({zero}), error);
+}
+
+TEST(Federation, ShardsArePartition) {
+  const data::dataset ds = small_dataset();
+  federation_config cfg;
+  cfg.clients = 4;
+  cfg.compromised = 1;
+  federation fed{cfg, tiny_vit_factory(), ds};
+  EXPECT_EQ(fed.client_count(), 4);
+  std::int64_t total = 0;
+  for (std::int64_t c = 0; c < 4; ++c) total += fed.client(c).shard_size();
+  EXPECT_EQ(total, ds.train_size());
+  EXPECT_EQ(fed.compromised_clients().size(), 1u);
+}
+
+TEST(Federation, RoundsImproveGlobalModel) {
+  const data::dataset ds = small_dataset();
+  federation_config cfg;
+  cfg.clients = 3;
+  cfg.compromised = 0;
+  cfg.local.epochs = 2;
+  cfg.local.batch_size = 16;
+  cfg.local.lr = 4e-3f;
+  federation fed{cfg, tiny_vit_factory(), ds};
+
+  const float before = fed.global_test_accuracy();
+  fed.run_rounds(4);
+  const float after = fed.global_test_accuracy();
+  EXPECT_GT(after, before + 0.2f) << "before=" << before << " after=" << after;
+  EXPECT_GT(after, 0.7f);
+}
+
+TEST(Federation, TrafficAccountsBothLegs) {
+  const data::dataset ds = small_dataset();
+  federation_config cfg;
+  cfg.clients = 2;
+  cfg.compromised = 0;
+  cfg.local.epochs = 1;
+  federation fed{cfg, tiny_vit_factory(), ds};
+  fed.run_round();
+  // broadcast + upload per client
+  EXPECT_EQ(fed.traffic().messages, 4);
+  const std::int64_t payload =
+      static_cast<std::int64_t>(fed.server().broadcast().size());
+  EXPECT_EQ(fed.traffic().bytes, 4 * payload);
+}
+
+TEST(Federation, CompromisedClientCraftsAdversarialExample) {
+  const data::dataset ds = small_dataset();
+  federation_config cfg;
+  cfg.clients = 2;
+  cfg.compromised = 1;
+  cfg.local.epochs = 2;
+  cfg.local.lr = 4e-3f;
+  federation fed{cfg, tiny_vit_factory(), ds};
+  fed.run_rounds(4);
+
+  // The attacker probes its local copy after the final broadcast.
+  const byte_buffer global = fed.server().broadcast();
+  compromised_client* attacker = fed.compromised_clients()[0];
+  attacker->receive_global(global);
+
+  // Pick a sample the local model classifies correctly.
+  std::int64_t idx = -1;
+  for (std::int64_t i = 0; i < ds.test_size(); ++i)
+    if (models::predict_one(attacker->local_model(), ds.test_image(i)) == ds.test_label(i)) {
+      idx = i;
+      break;
+    }
+  ASSERT_GE(idx, 0);
+
+  const attacks::suite_params p = attacks::table2_cifar_params();
+  const attacks::attack_result clear = attacker->craft_adversarial(
+      ds.test_image(idx), ds.test_label(idx), /*shielded=*/false, attacks::attack_kind::pgd, p,
+      101);
+  EXPECT_LE(attacks::linf_distance(clear.adversarial, ds.test_image(idx)), p.eps + 1e-5f);
+
+  const attacks::attack_result shielded = attacker->craft_adversarial(
+      ds.test_image(idx), ds.test_label(idx), /*shielded=*/true, attacks::attack_kind::pgd, p,
+      101);
+  // PELTA on the local copy: the probe sees only the masked view; the
+  // crafted sample is far less likely to fool the model. At minimum the
+  // clear attack must not be weaker than the shielded one on this sample.
+  EXPECT_GE(static_cast<int>(clear.misclassified), static_cast<int>(shielded.misclassified));
+}
+
+TEST(Federation, AdversarialExampleTransfersToVictim) {
+  // Fig. 1: the sample crafted on the attacker's copy is replayed against a
+  // victim running the same broadcast model — same parameters, same result.
+  const data::dataset ds = small_dataset();
+  federation_config cfg;
+  cfg.clients = 3;
+  cfg.compromised = 1;
+  cfg.local.epochs = 2;
+  cfg.local.lr = 4e-3f;
+  federation fed{cfg, tiny_vit_factory(), ds};
+  fed.run_rounds(4);
+
+  const byte_buffer global = fed.server().broadcast();
+  compromised_client* attacker = fed.compromised_clients()[0];
+  attacker->receive_global(global);
+  fl_client& victim = fed.client(0);
+  victim.receive_global(global);
+
+  const attacks::suite_params p = attacks::table2_cifar_params();
+  std::int64_t transferred = 0, crafted = 0;
+  for (std::int64_t i = 0; i < 10; ++i) {
+    if (models::predict_one(attacker->local_model(), ds.test_image(i)) != ds.test_label(i))
+      continue;
+    const attacks::attack_result r = attacker->craft_adversarial(
+        ds.test_image(i), ds.test_label(i), false, attacks::attack_kind::pgd, p, 200 + i);
+    if (!r.misclassified) continue;
+    ++crafted;
+    if (models::predict_one(victim.local_model(), r.adversarial) != ds.test_label(i))
+      ++transferred;
+  }
+  ASSERT_GT(crafted, 0);
+  EXPECT_EQ(transferred, crafted);  // identical weights -> perfect replay
+}
+
+}  // namespace
+}  // namespace pelta::fl

@@ -1,0 +1,113 @@
+// End-to-end integration: the full Fig. 1 story — federated training, a
+// compromised client probing its local copy, PELTA shielding, and the
+// replay against a victim node.
+#include <gtest/gtest.h>
+
+#include "core/pelta.h"
+#include "fl/federation.h"
+#include "models/trainer.h"
+#include "models/zoo.h"
+#include "shield/policy.h"
+
+namespace pelta {
+namespace {
+
+TEST(EndToEnd, FederatedTrainShieldAttackReplay) {
+  data::dataset_config dc = data::cifar10_like();
+  dc.classes = 4;
+  dc.train_per_class = 40;
+  dc.test_per_class = 15;
+  const data::dataset ds{dc};
+
+  // 1. Federated training with one compromised node.
+  fl::federation_config cfg;
+  cfg.clients = 3;
+  cfg.compromised = 1;
+  cfg.local.epochs = 2;
+  cfg.local.batch_size = 16;
+  cfg.local.lr = 4e-3f;
+  fl::model_factory factory = [] {
+    models::vit_config c;
+    c.name = "e2e-vit";
+    c.image_size = 16;
+    c.patch_size = 4;
+    c.dim = 16;
+    c.heads = 2;
+    c.blocks = 2;
+    c.mlp_hidden = 32;
+    c.classes = 4;
+    c.seed = 41;
+    return std::make_unique<models::vit_model>(c);
+  };
+  fl::federation fed{cfg, factory, ds};
+  fed.run_rounds(5);
+  ASSERT_GT(fed.global_test_accuracy(), 0.8f);
+
+  // 2. Broadcast the final model; attacker and victim install it.
+  const byte_buffer global = fed.server().broadcast();
+  fl::compromised_client* attacker = fed.compromised_clients()[0];
+  attacker->receive_global(global);
+  fl::fl_client& victim = fed.client(0);
+  victim.receive_global(global);
+
+  // 3. Attack without and with PELTA on the attacker's own device.
+  const attacks::suite_params params = attacks::table2_cifar_params();
+  std::int64_t clear_hits = 0, shielded_hits = 0, victims_fooled = 0, evaluated = 0;
+  for (std::int64_t i = 0; i < ds.test_size() && evaluated < 12; ++i) {
+    if (models::predict_one(attacker->local_model(), ds.test_image(i)) != ds.test_label(i))
+      continue;
+    ++evaluated;
+    const auto clear = attacker->craft_adversarial(ds.test_image(i), ds.test_label(i), false,
+                                                   attacks::attack_kind::pgd, params, 500 + i);
+    const auto shielded = attacker->craft_adversarial(ds.test_image(i), ds.test_label(i), true,
+                                                      attacks::attack_kind::pgd, params, 500 + i);
+    if (clear.misclassified) {
+      ++clear_hits;
+      // 4. Replay against the victim: identical weights, identical outcome.
+      if (models::predict_one(victim.local_model(), clear.adversarial) != ds.test_label(i))
+        ++victims_fooled;
+    }
+    if (shielded.misclassified) ++shielded_hits;
+  }
+  ASSERT_GE(evaluated, 8);
+  EXPECT_GE(clear_hits, evaluated * 7 / 10) << "open white box should mostly succeed";
+  EXPECT_LT(shielded_hits, clear_hits) << "PELTA must reduce attack success";
+  EXPECT_EQ(victims_fooled, clear_hits) << "replay against same weights is exact";
+}
+
+TEST(EndToEnd, DefendedModelEnclaveWithinTrustZoneBudget) {
+  // Table I's system constraint on the full zoo: every model's shield fits
+  // comfortably inside the 30 MB TrustZone budget, even with gradients.
+  models::task_spec task;
+  task.classes = 10;
+  rng g{7};
+  const tensor probe = tensor::rand_uniform(g, {3, 16, 16});
+  for (const char* name : {"ViT-L/16", "ViT-B/16", "ViT-B/32", "ResNet-56", "ResNet-164",
+                           "BiT-M-R101x3", "BiT-M-R152x4"}) {
+    defended_model defended{models::make_model(name, task)};
+    const auto cost = defended.measure_shield_cost(probe, true);
+    EXPECT_LE(cost.tee_bytes, defended.enclave().capacity_bytes()) << name;
+    EXPECT_GT(cost.tee_bytes, 0) << name;
+  }
+}
+
+TEST(EndToEnd, ShieldDepthAblationMonotoneMemory) {
+  // Deeper Select frontiers strictly grow the enclave footprint.
+  models::task_spec task;
+  task.classes = 4;
+  auto vit = models::make_vit_b16_sim(task);
+  rng g{8};
+  const tensor image = tensor::rand_uniform(g, {1, 3, 16, 16});
+
+  std::int64_t last = 0;
+  for (std::int64_t k = 1; k <= 4; ++k) {
+    models::forward_pass fp = vit->forward(image, ad::norm_mode::eval);
+    const auto frontier = shield::select_first_k_transforms(fp.graph, k);
+    const shield::shield_report r = shield::pelta_shield(fp.graph, frontier, nullptr);
+    EXPECT_GE(r.total_bytes(), last) << "depth " << k;
+    last = r.total_bytes();
+  }
+}
+
+}  // namespace
+}  // namespace pelta

@@ -1,0 +1,149 @@
+// The §III plain-DNN family and the §II defense matrix: gradient inversion
+// (the related-work threat) vs evasion (PELTA's threat) under the three
+// observation policies.
+#include <gtest/gtest.h>
+
+#include "attacks/inversion.h"
+#include "attacks/priors.h"
+#include "models/trainer.h"
+#include "tensor/ops.h"
+
+namespace pelta::attacks {
+namespace {
+
+models::mlp_config tiny_mlp_config() {
+  models::mlp_config c;
+  c.name = "tiny-mlp";
+  c.image_size = 16;
+  c.channels = 3;
+  c.hidden = {48, 24};
+  c.classes = 4;
+  return c;
+}
+
+struct fixture {
+  data::dataset ds;
+  std::unique_ptr<models::mlp_model> mlp;
+
+  fixture()
+      : ds{[] {
+          data::dataset_config c = data::cifar10_like();
+          c.classes = 4;
+          c.train_per_class = 60;
+          c.test_per_class = 20;
+          return c;
+        }()} {
+    mlp = std::make_unique<models::mlp_model>(tiny_mlp_config());
+    models::train_config tc;
+    tc.epochs = 8;
+    tc.batch_size = 16;
+    tc.lr = 3e-3f;
+    models::train_model(*mlp, ds, tc);
+  }
+
+  static const fixture& get() {
+    static fixture f;
+    return f;
+  }
+};
+
+TEST(Mlp, TrainsToUsableAccuracy) {
+  const auto& f = fixture::get();
+  EXPECT_GT(models::accuracy(*f.mlp, f.ds.test_images(), f.ds.test_labels()), 0.8f);
+}
+
+TEST(Mlp, ForwardShapesAndFrontier) {
+  const auto& f = fixture::get();
+  const models::forward_pass fp = f.mlp->forward(tensor::zeros({2, 3, 16, 16}), ad::norm_mode::eval);
+  EXPECT_EQ(fp.graph.value(fp.logits).shape(), (shape_t{2, 4}));
+  EXPECT_EQ(f.mlp->shield_frontier_tags(), std::vector<std::string>{"mlp.act0"});
+  EXPECT_EQ(f.mlp->attention_blocks(), 0);
+}
+
+TEST(Mlp, ShieldFrontierMasksExactlyTheFirstAffineLayer) {
+  const auto& f = fixture::get();
+  auto names = shielded_parameter_names(*f.mlp, f.ds.test_image(0));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"mlp.fc0.b", "mlp.fc0.w"}));
+}
+
+TEST(Mlp, ShieldedOracleLiftsDenseAdjointToImageShape) {
+  const auto& f = fixture::get();
+  auto oracle = make_shielded_oracle(*f.mlp, 7);
+  const oracle_result r = oracle->query(f.ds.test_image(0), f.ds.test_label(0));
+  EXPECT_EQ(r.gradient.shape(), (shape_t{3, 16, 16}));
+  EXPECT_GT(ops::norm_l2(r.gradient), 0.0f);
+}
+
+// ---- the inversion primitive ---------------------------------------------------
+
+TEST(Inversion, ClearObservationReconstructsTheInputExactly) {
+  const auto& f = fixture::get();
+  std::int64_t checked = 0;
+  for (std::int64_t i = 0; i < 8; ++i) {
+    const inversion_result r = run_gradient_inversion(*f.mlp, f.ds.test_image(i),
+                                                      f.ds.test_label(i),
+                                                      observation_policy::clear);
+    ASSERT_FALSE(r.blocked);
+    if (ops::norm_l2(r.reconstruction) == 0.0f) continue;  // zero-loss step
+    EXPECT_GT(r.cosine, 0.999f) << "sample " << i;
+    EXPECT_LT(r.mse, 1e-4f) << "sample " << i;
+    ++checked;
+  }
+  EXPECT_GE(checked, 4);
+}
+
+TEST(Inversion, ParamGradientShieldBlocksIt) {
+  const auto& f = fixture::get();
+  const inversion_result r = run_gradient_inversion(
+      *f.mlp, f.ds.test_image(0), f.ds.test_label(0), observation_policy::param_gradient);
+  EXPECT_TRUE(r.blocked);
+}
+
+TEST(Inversion, PeltaFrontierBlocksTheAnalyticForm) {
+  const auto& f = fixture::get();
+  const inversion_result r = run_gradient_inversion(*f.mlp, f.ds.test_image(0),
+                                                    f.ds.test_label(0), observation_policy::pelta);
+  EXPECT_TRUE(r.blocked);
+}
+
+TEST(Inversion, QualityMetricSeparatesThePolicies) {
+  const auto& f = fixture::get();
+  const float clear = inversion_quality(*f.mlp, f.ds, observation_policy::clear, 12);
+  const float gradsec = inversion_quality(*f.mlp, f.ds, observation_policy::param_gradient, 12);
+  const float pelta = inversion_quality(*f.mlp, f.ds, observation_policy::pelta, 12);
+  EXPECT_GT(clear, 0.8f);
+  EXPECT_FLOAT_EQ(gradsec, 0.0f);
+  EXPECT_FLOAT_EQ(pelta, 0.0f);
+}
+
+// ---- the evasion side of the matrix ---------------------------------------------
+
+TEST(DefenseMatrix, EvasionOnlyPeltaBlocks) {
+  const auto& f = fixture::get();
+  const suite_params params = params_for_dataset("cifar10_like");
+
+  const robust_eval clear = evaluate_attack(*f.mlp, f.ds, attack_kind::pgd, params,
+                                            clear_oracle_factory(*f.mlp), 16, 5);
+  const oracle_factory gradsec_factory = [&](std::uint64_t) {
+    return make_param_shield_oracle(*f.mlp);
+  };
+  const robust_eval gradsec =
+      evaluate_attack(*f.mlp, f.ds, attack_kind::pgd, params, gradsec_factory, 16, 5);
+  const robust_eval pelta = evaluate_attack(*f.mlp, f.ds, attack_kind::pgd, params,
+                                            shielded_oracle_factory(*f.mlp), 16, 5);
+
+  EXPECT_LT(clear.robust_accuracy, 0.3f);                       // open white box falls
+  EXPECT_LT(gradsec.robust_accuracy, clear.robust_accuracy + 0.15f);  // GradSec: no help
+  EXPECT_GT(pelta.robust_accuracy, 0.6f);                       // PELTA holds
+}
+
+TEST(Inversion, PolicyNamesAreDistinct) {
+  EXPECT_STRNE(observation_policy_name(observation_policy::clear),
+               observation_policy_name(observation_policy::pelta));
+  EXPECT_STRNE(observation_policy_name(observation_policy::param_gradient),
+               observation_policy_name(observation_policy::pelta));
+}
+
+}  // namespace
+}  // namespace pelta::attacks

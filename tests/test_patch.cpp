@@ -1,0 +1,204 @@
+// Adversarial patch attacks (Brown et al. [14], the paper's §I sticker
+// scenario): support-constrained perturbations, per-sample and universal.
+#include <gtest/gtest.h>
+
+#include "attacks/patch.h"
+#include "models/trainer.h"
+#include "models/zoo.h"
+#include "tensor/ops.h"
+
+namespace pelta::attacks {
+namespace {
+
+struct fixture {
+  data::dataset ds;
+  std::unique_ptr<models::vit_model> vit;
+
+  fixture()
+      : ds{[] {
+          data::dataset_config c = data::cifar10_like();
+          c.classes = 4;
+          c.train_per_class = 60;
+          c.test_per_class = 20;
+          return c;
+        }()} {
+    models::vit_config vc;
+    vc.name = "tiny-vit";
+    vc.image_size = 16;
+    vc.patch_size = 4;
+    vc.dim = 16;
+    vc.heads = 2;
+    vc.blocks = 2;
+    vc.mlp_hidden = 32;
+    vc.classes = 4;
+    vit = std::make_unique<models::vit_model>(vc);
+    models::train_config tc;
+    tc.epochs = 10;
+    tc.batch_size = 16;
+    tc.lr = 4e-3f;
+    models::train_model(*vit, ds, tc);
+  }
+
+  static const fixture& get() {
+    static fixture f;
+    return f;
+  }
+};
+
+TEST(PatchGeometry, OnlyTheStickerRegionChanges) {
+  const auto& f = fixture::get();
+  auto oracle = make_clear_oracle(*f.vit);
+  const tensor x0 = f.ds.test_image(0);
+  patch_config c;
+  c.size = 4;
+  c.steps = 10;
+  c.early_stop = false;
+  const attack_result r = run_patch(*oracle, x0, f.ds.test_label(0), c);
+  for (std::int64_t ch = 0; ch < 3; ++ch)
+    for (std::int64_t y = 0; y < 16; ++y)
+      for (std::int64_t x = 0; x < 16; ++x) {
+        if (y >= 12 && x >= 12) continue;  // sticker support (bottom-right 4x4)
+        ASSERT_FLOAT_EQ(r.adversarial.at(ch, y, x), x0.at(ch, y, x))
+            << "pixel outside the sticker changed at " << ch << "," << y << "," << x;
+      }
+  EXPECT_GE(ops::min(r.adversarial), 0.0f);
+  EXPECT_LE(ops::max(r.adversarial), 1.0f);
+}
+
+TEST(PatchGeometry, ExplicitLocationIsRespected) {
+  const auto& f = fixture::get();
+  auto oracle = make_clear_oracle(*f.vit);
+  const tensor x0 = f.ds.test_image(1);
+  patch_config c;
+  c.size = 3;
+  c.top = 2;
+  c.left = 5;
+  c.steps = 5;
+  c.early_stop = false;
+  const attack_result r = run_patch(*oracle, x0, f.ds.test_label(1), c);
+  bool changed_inside = false;
+  for (std::int64_t ch = 0; ch < 3; ++ch)
+    for (std::int64_t y = 0; y < 16; ++y)
+      for (std::int64_t x = 0; x < 16; ++x) {
+        const bool inside = y >= 2 && y < 5 && x >= 5 && x < 8;
+        if (!inside)
+          ASSERT_FLOAT_EQ(r.adversarial.at(ch, y, x), x0.at(ch, y, x));
+        else if (r.adversarial.at(ch, y, x) != x0.at(ch, y, x))
+          changed_inside = true;
+      }
+  EXPECT_TRUE(changed_inside);
+}
+
+TEST(PatchGeometry, InvalidConfigsThrow) {
+  const auto& f = fixture::get();
+  auto oracle = make_clear_oracle(*f.vit);
+  patch_config too_big;
+  too_big.size = 20;
+  EXPECT_THROW(run_patch(*oracle, f.ds.test_image(0), 0, too_big), error);
+  patch_config out_of_bounds;
+  out_of_bounds.size = 4;
+  out_of_bounds.top = 14;
+  out_of_bounds.left = 0;
+  EXPECT_THROW(run_patch(*oracle, f.ds.test_image(0), 0, out_of_bounds), error);
+}
+
+TEST(PatchAttack, FoolsTheClearModelButNotTheShieldedOne) {
+  const auto& f = fixture::get();
+  std::int64_t clear_hits = 0, shielded_hits = 0, runs = 0;
+  patch_config c;
+  c.size = 6;  // a big sticker: the §I threat is unconstrained in magnitude
+  c.steps = 60;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    const std::int64_t label = f.ds.test_label(i);
+    if (models::predict_one(*f.vit, f.ds.test_image(i)) != label) continue;
+    ++runs;
+    auto clear = make_clear_oracle(*f.vit);
+    auto shielded = make_shielded_oracle(*f.vit, static_cast<std::uint64_t>(i));
+    if (run_patch(*clear, f.ds.test_image(i), label, c).misclassified) ++clear_hits;
+    if (run_patch(*shielded, f.ds.test_image(i), label, c).misclassified) ++shielded_hits;
+  }
+  ASSERT_GE(runs, 6);
+  EXPECT_GT(static_cast<float>(clear_hits) / static_cast<float>(runs), 0.5f);
+  EXPECT_LT(shielded_hits, clear_hits);
+}
+
+TEST(PatchAttack, TargetedModeHitsTheTarget) {
+  const auto& f = fixture::get();
+  auto oracle = make_clear_oracle(*f.vit);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    const std::int64_t label = f.ds.test_label(i);
+    patch_config c;
+    c.size = 6;
+    c.steps = 60;
+    c.target = (label + 1) % 4;
+    const attack_result r = run_patch(*oracle, f.ds.test_image(i), label, c);
+    if (r.misclassified) {
+      EXPECT_EQ(models::predict_one(*f.vit, r.adversarial), c.target);
+    }
+  }
+}
+
+TEST(UniversalPatch, TransfersToHeldOutImages) {
+  const auto& f = fixture::get();
+  auto oracle = make_clear_oracle(*f.vit);
+
+  std::vector<tensor> pool;
+  std::vector<std::int64_t> labels;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    if (models::predict_one(*f.vit, f.ds.test_image(i)) != f.ds.test_label(i)) continue;
+    pool.push_back(f.ds.test_image(i));
+    labels.push_back(f.ds.test_label(i));
+  }
+  ASSERT_GE(pool.size(), 6u);
+
+  patch_config c;
+  c.size = 6;
+  c.steps = 30;
+  rng gen{17};
+  const universal_patch_result up = train_universal_patch(*oracle, pool, labels, c, gen);
+  EXPECT_GT(up.train_success, 0.5f);
+
+  // replay the one sticker on unseen samples
+  std::int64_t held_hits = 0, held_total = 0;
+  for (std::int64_t i = 12; i < 30 && held_total < 10; ++i) {
+    const std::int64_t label = f.ds.test_label(i);
+    if (models::predict_one(*f.vit, f.ds.test_image(i)) != label) continue;
+    ++held_total;
+    const tensor stamped = apply_patch(f.ds.test_image(i), up.patch, c);
+    if (models::predict_one(*f.vit, stamped) != label) ++held_hits;
+  }
+  ASSERT_GE(held_total, 5);
+  EXPECT_GT(static_cast<float>(held_hits) / static_cast<float>(held_total), 0.4f);
+}
+
+TEST(UniversalPatch, ShieldedTrainingYieldsAWeakerSticker) {
+  const auto& f = fixture::get();
+  std::vector<tensor> pool;
+  std::vector<std::int64_t> labels;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    if (models::predict_one(*f.vit, f.ds.test_image(i)) != f.ds.test_label(i)) continue;
+    pool.push_back(f.ds.test_image(i));
+    labels.push_back(f.ds.test_label(i));
+  }
+  patch_config c;
+  c.size = 6;
+  c.steps = 30;
+  rng gen{18};
+  auto clear = make_clear_oracle(*f.vit);
+  auto shielded = make_shielded_oracle(*f.vit, 5);
+  const universal_patch_result open = train_universal_patch(*clear, pool, labels, c, gen);
+
+  rng gen2{18};
+  const universal_patch_result masked = train_universal_patch(*shielded, pool, labels, c, gen2);
+  // success judged by the real model either way
+  std::int64_t open_hits = 0, masked_hits = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (models::predict_one(*f.vit, apply_patch(pool[i], open.patch, c)) != labels[i]) ++open_hits;
+    if (models::predict_one(*f.vit, apply_patch(pool[i], masked.patch, c)) != labels[i])
+      ++masked_hits;
+  }
+  EXPECT_GT(open_hits, masked_hits);
+}
+
+}  // namespace
+}  // namespace pelta::attacks

@@ -1,0 +1,257 @@
+// Prior-based attacker tiers (§VII (i)) and targeted attack variants.
+#include <gtest/gtest.h>
+
+#include "attacks/priors.h"
+#include "models/trainer.h"
+#include "models/zoo.h"
+#include "tensor/ops.h"
+
+namespace pelta::attacks {
+namespace {
+
+models::vit_config tiny_vit_config() {
+  models::vit_config vc;
+  vc.name = "tiny-vit";
+  vc.image_size = 16;
+  vc.patch_size = 4;
+  vc.dim = 16;
+  vc.heads = 2;
+  vc.blocks = 2;
+  vc.mlp_hidden = 32;
+  vc.classes = 4;
+  return vc;
+}
+
+data::dataset_config small_data_config(std::uint64_t seed) {
+  data::dataset_config c = data::cifar10_like();
+  c.classes = 4;
+  c.train_per_class = 60;
+  c.test_per_class = 20;
+  c.seed = seed;
+  return c;
+}
+
+struct fixture {
+  data::dataset ds;        // the federation's private data
+  data::dataset public_ds; // a *public* dataset of the same family
+  std::unique_ptr<models::vit_model> victim;
+  std::unique_ptr<models::vit_model> public_model;  // related-tier prior source
+
+  fixture() : ds{small_data_config(42)}, public_ds{small_data_config(4242)} {
+    victim = std::make_unique<models::vit_model>(tiny_vit_config());
+    public_model = std::make_unique<models::vit_model>([] {
+      models::vit_config c = tiny_vit_config();
+      c.seed = 77;  // attacker's own initialization
+      return c;
+    }());
+    models::train_config tc;
+    tc.epochs = 10;
+    tc.batch_size = 16;
+    tc.lr = 4e-3f;
+    models::train_model(*victim, ds, tc);
+    models::train_model(*public_model, public_ds, tc);
+  }
+
+  static const fixture& get() {
+    static fixture f;
+    return f;
+  }
+};
+
+TEST(PriorNames, FrontierCoversTheEmbedding) {
+  const auto& f = fixture::get();
+  const auto names = shielded_parameter_names(*f.victim, f.ds.test_image(0));
+  ASSERT_FALSE(names.empty());
+  // ViT frontier = everything up to the position embedding (§V-A): the
+  // patch projection and the embedding tokens, nothing deeper.
+  bool has_embed = false;
+  for (const auto& n : names) {
+    EXPECT_EQ(n.rfind("embed", 0), 0u) << "non-frontier parameter masked: " << n;
+    has_embed = true;
+  }
+  EXPECT_TRUE(has_embed);
+}
+
+TEST(PriorAssemble, ExactTierEqualsVictimEverywhere) {
+  const auto& f = fixture::get();
+  models::vit_model substitute{tiny_vit_config()};
+  prior_attack_config cfg;
+  cfg.tier = prior_tier::exact;
+  const auto frontier =
+      assemble_prior_substitute(substitute, *f.victim, cfg, f.ds.test_image(0));
+  EXPECT_FLOAT_EQ(frontier_agreement(substitute, *f.victim, frontier), 1.0f);
+  // deep layers too: full parameter vectors byte-identical
+  const byte_buffer a = substitute.params().save_values();
+  const byte_buffer b = f.victim->params().save_values();
+  EXPECT_EQ(a, b);
+}
+
+TEST(PriorAssemble, NoneTierRerollsOnlyTheFrontier) {
+  const auto& f = fixture::get();
+  models::vit_model substitute{tiny_vit_config()};
+  prior_attack_config cfg;
+  cfg.tier = prior_tier::none;
+  cfg.seed = 5;
+  const auto frontier =
+      assemble_prior_substitute(substitute, *f.victim, cfg, f.ds.test_image(0));
+  EXPECT_LT(frontier_agreement(substitute, *f.victim, frontier), 0.5f);
+
+  // every non-frontier parameter still equals the victim's
+  for (std::size_t i = 0; i < substitute.params().size(); ++i) {
+    const ad::parameter& p = substitute.params().at(i);
+    const bool in_frontier =
+        std::find(frontier.begin(), frontier.end(), p.name) != frontier.end();
+    if (in_frontier) continue;
+    const ad::parameter& v = f.victim->params().get(p.name);
+    for (std::int64_t j = 0; j < p.value.numel(); ++j)
+      ASSERT_FLOAT_EQ(p.value[j], v.value[j]) << p.name;
+  }
+}
+
+TEST(PriorAssemble, NoneTierIsSeedDeterministic) {
+  const auto& f = fixture::get();
+  models::vit_model a{tiny_vit_config()}, b{tiny_vit_config()};
+  prior_attack_config cfg;
+  cfg.tier = prior_tier::none;
+  cfg.seed = 11;
+  assemble_prior_substitute(a, *f.victim, cfg, f.ds.test_image(0));
+  assemble_prior_substitute(b, *f.victim, cfg, f.ds.test_image(0));
+  EXPECT_EQ(a.params().save_values(), b.params().save_values());
+}
+
+TEST(PriorAssemble, RelatedTierCopiesThePriorSourceFrontier) {
+  const auto& f = fixture::get();
+  models::vit_model substitute{tiny_vit_config()};
+  prior_attack_config cfg;
+  cfg.tier = prior_tier::related;
+  cfg.prior_source = f.public_model.get();
+  const auto frontier =
+      assemble_prior_substitute(substitute, *f.victim, cfg, f.ds.test_image(0));
+  EXPECT_FLOAT_EQ(frontier_agreement(substitute, *f.public_model, frontier), 1.0f);
+  EXPECT_LT(frontier_agreement(substitute, *f.victim, frontier), 0.9f);
+}
+
+TEST(PriorAssemble, RelatedTierWithoutSourceThrows) {
+  const auto& f = fixture::get();
+  models::vit_model substitute{tiny_vit_config()};
+  prior_attack_config cfg;
+  cfg.tier = prior_tier::related;
+  EXPECT_THROW(assemble_prior_substitute(substitute, *f.victim, cfg, f.ds.test_image(0)), error);
+}
+
+TEST(PriorEval, ExactPriorDefeatsTheShieldNoPriorDoesNot) {
+  // The §VII claim, end to end: a shared pretrained embedding voids the
+  // enclave's secrecy; training your own first parameters restores it.
+  const auto& f = fixture::get();
+  const suite_params params = params_for_dataset("cifar10_like");
+
+  models::vit_model exact_sub{tiny_vit_config()};
+  prior_attack_config exact_cfg;
+  exact_cfg.tier = prior_tier::exact;
+  const robust_eval exact =
+      evaluate_prior_attack(*f.victim, exact_sub, exact_cfg, f.ds, params, 16, 3);
+
+  models::vit_model none_sub{tiny_vit_config()};
+  prior_attack_config none_cfg;
+  none_cfg.tier = prior_tier::none;
+  const robust_eval none =
+      evaluate_prior_attack(*f.victim, none_sub, none_cfg, f.ds, params, 16, 3);
+
+  EXPECT_LT(exact.robust_accuracy, 0.3f);
+  EXPECT_GT(none.robust_accuracy, 0.6f);
+}
+
+TEST(PriorTierNames, AreDistinct) {
+  EXPECT_STRNE(prior_tier_name(prior_tier::none), prior_tier_name(prior_tier::exact));
+  EXPECT_STRNE(prior_tier_name(prior_tier::related), prior_tier_name(prior_tier::exact));
+}
+
+// ---- targeted attack variants -------------------------------------------------
+
+TEST(Targeted, PgdReachesTheChosenClassOnClearModel) {
+  const auto& f = fixture::get();
+  auto oracle = make_clear_oracle(*f.victim);
+  std::int64_t hits = 0, runs = 0;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    const std::int64_t label = f.ds.test_label(i);
+    if (models::predict_one(*f.victim, f.ds.test_image(i)) != label) continue;
+    pgd_config c;
+    c.eps = 0.062f;
+    c.eps_step = 0.0062f;
+    c.steps = 40;
+    c.target = (label + 1) % 4;
+    const attack_result r = run_pgd(*oracle, f.ds.test_image(i), label, c);
+    ++runs;
+    if (r.misclassified) {
+      ++hits;
+      EXPECT_EQ(models::predict_one(*f.victim, r.adversarial), c.target);
+    }
+  }
+  ASSERT_GT(runs, 4);
+  EXPECT_GT(static_cast<float>(hits) / static_cast<float>(runs), 0.5f);
+}
+
+TEST(Targeted, SuccessFlagMeansTargetHitForFgsm) {
+  const auto& f = fixture::get();
+  auto oracle = make_clear_oracle(*f.victim);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    const std::int64_t label = f.ds.test_label(i);
+    fgsm_config c;
+    c.eps = 0.062f;
+    c.target = (label + 2) % 4;
+    const attack_result r = run_fgsm(*oracle, f.ds.test_image(i), label, c);
+    if (r.misclassified) {
+      EXPECT_EQ(models::predict_one(*f.victim, r.adversarial), c.target);
+    }
+  }
+}
+
+TEST(Targeted, TargetEqualToLabelThrows) {
+  const auto& f = fixture::get();
+  auto oracle = make_clear_oracle(*f.victim);
+  pgd_config c;
+  c.target = f.ds.test_label(0);
+  EXPECT_THROW(run_pgd(*oracle, f.ds.test_image(0), f.ds.test_label(0), c), error);
+}
+
+TEST(Targeted, ShieldBlocksTargetedPgd) {
+  const auto& f = fixture::get();
+  std::int64_t clear_hits = 0, shielded_hits = 0, runs = 0;
+  for (std::int64_t i = 0; i < 10; ++i) {
+    const std::int64_t label = f.ds.test_label(i);
+    if (models::predict_one(*f.victim, f.ds.test_image(i)) != label) continue;
+    pgd_config c;
+    c.eps = 0.062f;
+    c.eps_step = 0.0062f;
+    c.steps = 30;
+    c.target = (label + 1) % 4;
+    auto clear = make_clear_oracle(*f.victim);
+    auto shielded = make_shielded_oracle(*f.victim, static_cast<std::uint64_t>(i));
+    ++runs;
+    if (run_pgd(*clear, f.ds.test_image(i), label, c).misclassified) ++clear_hits;
+    if (run_pgd(*shielded, f.ds.test_image(i), label, c).misclassified) ++shielded_hits;
+  }
+  ASSERT_GT(runs, 4);
+  EXPECT_LT(shielded_hits, clear_hits);
+}
+
+TEST(Targeted, MimDescendsTowardTarget) {
+  const auto& f = fixture::get();
+  auto oracle = make_clear_oracle(*f.victim);
+  const std::int64_t i = 0;
+  const std::int64_t label = f.ds.test_label(i);
+  mim_config c;
+  c.eps = 0.062f;
+  c.eps_step = 0.0062f;
+  c.steps = 30;
+  c.target = (label + 1) % 4;
+  c.early_stop = false;
+  const attack_result r = run_mim(*oracle, f.ds.test_image(i), label, c);
+  // the loss toward the target must not increase vs the clean sample
+  const float loss_before = oracle->query(f.ds.test_image(i), c.target).loss;
+  const float loss_after = oracle->query(r.adversarial, c.target).loss;
+  EXPECT_LE(loss_after, loss_before + 1e-4f);
+}
+
+}  // namespace
+}  // namespace pelta::attacks

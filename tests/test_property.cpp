@@ -1,0 +1,269 @@
+// Property-based suites (parameterized over seeds): PELTA's Algorithm 1
+// invariants on randomly generated graphs, attack ε-ball containment,
+// serialization round-trips, enclave accounting under random workloads.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "attacks/runner.h"
+#include "autodiff/ops_elementwise.h"
+#include "autodiff/ops_loss.h"
+#include "models/trainer.h"
+#include "models/zoo.h"
+#include "shield/masked_view.h"
+#include "shield/policy.h"
+#include "tee/enclave.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace pelta {
+namespace {
+
+// ---- random graphs: Algorithm 1 invariants ------------------------------------
+
+// Build a random DAG: a chain of input-dependent transforms with random
+// parameter attachments and random skip connections.
+struct random_graph {
+  ad::graph g;
+  std::vector<std::unique_ptr<ad::parameter>> params;
+  std::vector<ad::node_id> chain;  // input-dependent transforms in order
+
+  explicit random_graph(std::uint64_t seed) {
+    rng gen{seed};
+    const std::int64_t dim = 4;
+    const ad::node_id x = g.add_input(tensor::randn(gen, {dim}), "x");
+    chain.push_back(x);
+
+    const std::int64_t depth = 3 + static_cast<std::int64_t>(gen.uniform_int(0, 4));
+    for (std::int64_t d = 0; d < depth; ++d) {
+      const ad::node_id prev = chain.back();
+      ad::node_id next;
+      switch (gen.uniform_int(0, 3)) {
+        case 0: {  // elementwise product with a parameter
+          params.push_back(std::make_unique<ad::parameter>(
+              "p" + std::to_string(d), tensor::randn(gen, {dim})));
+          next = g.add_transform(ad::make_mul(), {prev, g.add_parameter(*params.back())});
+          break;
+        }
+        case 1: {  // skip connection to a random earlier chain node
+          const std::size_t pick =
+              static_cast<std::size_t>(gen.uniform_int(0, static_cast<std::int64_t>(chain.size()) - 1));
+          next = g.add_transform(ad::make_add(), {prev, chain[pick]});
+          break;
+        }
+        case 2:
+          next = g.add_transform(ad::make_gelu(), {prev});
+          break;
+        default:
+          next = g.add_transform(ad::make_scale(gen.uniform(0.5f, 2.0f)), {prev});
+      }
+      chain.push_back(next);
+    }
+    g.backward_from(chain.back(), tensor::ones({dim}));
+  }
+};
+
+class ShieldInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShieldInvariants, AlgorithmOneOnRandomGraphs) {
+  random_graph rg{GetParam()};
+  rng gen{GetParam() ^ 0xabcdu};
+  // Select a random frontier along the chain (never the input itself).
+  const std::size_t k =
+      1 + static_cast<std::size_t>(gen.uniform_int(0, static_cast<std::int64_t>(rg.chain.size()) - 2));
+  const ad::node_id frontier = rg.chain[k];
+
+  const shield::shield_report r = shield::pelta_shield(rg.g, {frontier}, nullptr);
+  const shield::masked_view view{rg.g, r};
+
+  // (1) The input is always reached and its gradient denied.
+  EXPECT_EQ(r.masked_input, rg.chain.front());
+  EXPECT_THROW(view.input_gradient(), tee::enclave_access_error);
+
+  // (2) Every masked transform is input-dependent; every one of its
+  //     input-dependent parents is masked too (transitive closure).
+  for (ad::node_id id : r.masked_transforms) {
+    const ad::node& n = rg.g.at(id);
+    EXPECT_TRUE(n.input_dependent);
+    for (ad::node_id p : n.parents) {
+      const ad::node& parent = rg.g.at(p);
+      if (parent.input_dependent) {
+        EXPECT_TRUE(r.is_masked(p)) << "edge " << p << "->" << id;
+      }
+    }
+  }
+
+  // (3) Jacobian records exist exactly for input-dependent edges into
+  //     masked transforms.
+  std::map<std::pair<ad::node_id, ad::node_id>, int> expected;
+  for (ad::node_id id : r.masked_transforms)
+    for (ad::node_id p : rg.g.at(id).parents)
+      if (rg.g.at(p).input_dependent) ++expected[{p, id}];
+  std::map<std::pair<ad::node_id, ad::node_id>, int> got;
+  for (const auto& j : r.jacobians) ++got[{j.from, j.to}];
+  EXPECT_EQ(got, expected);
+
+  // (4) Parameters attached to masked transforms are masked; parameters
+  //     attached only to clear transforms are not.
+  for (const auto& p : rg.params) {
+    const ad::node_id pid = rg.g.find_tag(p->name);
+    if (pid == ad::invalid_node) continue;
+    bool feeds_masked = false;
+    for (ad::node_id child : rg.g.children(pid))
+      if (r.is_masked(child) && rg.g.at(child).input_dependent) feeds_masked = true;
+    EXPECT_EQ(r.is_masked(pid), feeds_masked) << p->name;
+  }
+
+  // (5) Every clear-frontier member has a masked parent and is itself
+  //     clear. (When the Select frontier is the deepest vertex the whole
+  //     graph is masked and the clear frontier is legitimately empty.)
+  const auto clear = view.clear_frontier();
+  if (frontier != rg.chain.back()) {
+    ASSERT_FALSE(clear.empty());
+  }
+  for (ad::node_id id : clear) {
+    bool has_masked_parent = false;
+    for (ad::node_id p : rg.g.at(id).parents) has_masked_parent |= r.is_masked(p);
+    EXPECT_TRUE(has_masked_parent);
+    EXPECT_FALSE(r.is_masked(id));
+  }
+
+  // (6) Accounting is internally consistent.
+  EXPECT_EQ(r.total_bytes(), r.bytes_activations + r.bytes_gradients + r.bytes_parameters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShieldInvariants,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---- attack containment properties --------------------------------------------
+
+class AttackBall : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AttackBall, IteratesStayInEpsilonBallAndPixelRange) {
+  const std::uint64_t seed = GetParam();
+  models::task_spec task;
+  task.classes = 3;
+  task.seed = seed;
+  auto m = models::make_vit_b32_sim(task);  // untrained is fine for containment
+
+  rng gen{seed};
+  const tensor x0 = tensor::rand_uniform(gen, {3, 16, 16});
+  const std::int64_t label = gen.uniform_int(0, 2);
+  const float eps = gen.uniform(0.01f, 0.1f);
+
+  auto clear = attacks::make_clear_oracle(*m);
+  auto shielded = attacks::make_shielded_oracle(*m, seed);
+  for (attacks::gradient_oracle* oracle : {clear.get(), shielded.get()}) {
+    attacks::pgd_config pc;
+    pc.eps = eps;
+    pc.eps_step = eps / 4.0f;
+    pc.steps = 6;
+    pc.early_stop = false;
+    const tensor xp = attacks::run_pgd(*oracle, x0, label, pc).adversarial;
+    EXPECT_LE(attacks::linf_distance(xp, x0), eps + 1e-5f);
+    EXPECT_LE(ops::max(xp), 1.0f);
+    EXPECT_GE(ops::min(xp), 0.0f);
+
+    attacks::mim_config mc;
+    mc.eps = eps;
+    mc.eps_step = eps / 4.0f;
+    mc.steps = 6;
+    mc.early_stop = false;
+    const tensor xm = attacks::run_mim(*oracle, x0, label, mc).adversarial;
+    EXPECT_LE(attacks::linf_distance(xm, x0), eps + 1e-5f);
+
+    attacks::apgd_config ac;
+    ac.eps = eps;
+    ac.max_queries = 12;
+    ac.early_stop = false;
+    rng restart{seed + 1};
+    const tensor xa = attacks::run_apgd(*oracle, x0, label, ac, restart).adversarial;
+    EXPECT_LE(attacks::linf_distance(xa, x0), eps + 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttackBall, ::testing::Values(3u, 4u, 5u, 6u));
+
+// ---- serialization fuzz ---------------------------------------------------------
+
+class SerializeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeFuzz, RandomShapesRoundTrip) {
+  rng gen{GetParam()};
+  byte_buffer buf;
+  std::vector<tensor> originals;
+  const int count = 1 + static_cast<int>(gen.uniform_int(0, 5));
+  for (int i = 0; i < count; ++i) {
+    shape_t s;
+    const int rank = static_cast<int>(gen.uniform_int(0, 4));
+    for (int d = 0; d < rank; ++d) s.push_back(gen.uniform_int(1, 5));
+    originals.push_back(tensor::randn(gen, s));
+    serialize_tensor(originals.back(), buf);
+  }
+  std::size_t offset = 0;
+  for (const tensor& t : originals) {
+    const tensor back = deserialize_tensor(buf, offset);
+    ASSERT_TRUE(back.same_shape(t));
+    for (std::int64_t i = 0; i < t.numel(); ++i) ASSERT_FLOAT_EQ(back[i], t[i]);
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeFuzz, ::testing::Range<std::uint64_t>(1, 11));
+
+// ---- enclave accounting under random workloads ----------------------------------
+
+class EnclaveWorkload : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnclaveWorkload, UsageAlwaysMatchesContents) {
+  rng gen{GetParam()};
+  tee::enclave e{1 << 16};
+  std::map<std::string, std::int64_t> expect;
+
+  for (int step = 0; step < 60; ++step) {
+    const std::string key = "k" + std::to_string(gen.uniform_int(0, 7));
+    if (gen.bernoulli(0.7)) {
+      const std::int64_t n = gen.uniform_int(1, 64);
+      try {
+        e.store(key, tensor::zeros({n}));
+        expect[key] = n * 4;
+      } catch (const tee::enclave_capacity_error&) {
+        // rejected stores must leave accounting untouched (checked below)
+      }
+    } else {
+      e.erase(key);
+      expect.erase(key);
+    }
+    std::int64_t total = 0;
+    for (const auto& [k, v] : expect) total += v;
+    ASSERT_EQ(e.used_bytes(), total);
+    ASSERT_EQ(e.entry_count(), static_cast<std::int64_t>(expect.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnclaveWorkload, ::testing::Range<std::uint64_t>(1, 9));
+
+// ---- sealing fuzz ---------------------------------------------------------------
+
+class SealingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SealingFuzz, RandomBuffersRoundTripAndDetectTamper) {
+  rng gen{GetParam()};
+  byte_buffer plain(static_cast<std::size_t>(gen.uniform_int(1, 256)));
+  for (auto& b : plain) b = static_cast<std::uint8_t>(gen.uniform_int(0, 255));
+  const std::uint64_t key = gen.next_u64();
+
+  const tee::sealed_blob blob = tee::seal(plain, key);
+  EXPECT_EQ(tee::unseal(blob, key), plain);
+
+  tee::sealed_blob tampered = blob;
+  const std::size_t pos = static_cast<std::size_t>(
+      gen.uniform_int(0, static_cast<std::int64_t>(tampered.ciphertext.size()) - 1));
+  tampered.ciphertext[pos] ^= static_cast<std::uint8_t>(1 + gen.uniform_int(0, 254));
+  EXPECT_THROW(tee::unseal(tampered, key), error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SealingFuzz, ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace pelta

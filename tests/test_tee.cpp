@@ -1,0 +1,178 @@
+// TEE enclave simulator: world access control, capacity, sealing,
+// attestation, cost accounting.
+#include <gtest/gtest.h>
+
+#include "tee/enclave.h"
+
+namespace pelta::tee {
+namespace {
+
+TEST(Enclave, StartsInNormalWorld) {
+  enclave e;
+  EXPECT_EQ(e.current_world(), world::normal);
+  EXPECT_EQ(e.used_bytes(), 0);
+  EXPECT_EQ(e.capacity_bytes(), enclave::k_default_capacity);
+}
+
+TEST(Enclave, NormalWorldLoadDenied) {
+  enclave e;
+  e.store("secret", tensor::ones({4}));
+  EXPECT_THROW(e.load("secret"), enclave_access_error);
+  EXPECT_EQ(e.statistics().denied_accesses, 1);
+}
+
+TEST(Enclave, SecureWorldLoadSucceeds) {
+  enclave e;
+  e.store("secret", tensor::full({4}, 2.5f));
+  {
+    secure_session session{e};
+    const tensor& t = e.load("secret");
+    EXPECT_FLOAT_EQ(t[0], 2.5f);
+  }
+  // Session ended: back to denial.
+  EXPECT_THROW(e.load("secret"), enclave_access_error);
+}
+
+TEST(Enclave, WorldSwitchAccounting) {
+  enclave e;
+  const auto before = e.statistics().world_switches;
+  {
+    secure_session session{e};
+  }
+  EXPECT_EQ(e.statistics().world_switches - before, 2);  // enter + exit
+  EXPECT_GT(e.statistics().simulated_ns, 0.0);
+}
+
+TEST(Enclave, DoubleEnterThrows) {
+  enclave e;
+  e.enter_secure();
+  EXPECT_THROW(e.enter_secure(), error);
+  e.exit_secure();
+  EXPECT_THROW(e.exit_secure(), error);
+}
+
+TEST(Enclave, StoreReplacesAndTracksBytes) {
+  enclave e;
+  e.store("a", tensor::ones({100}));
+  EXPECT_EQ(e.used_bytes(), 400);
+  e.store("a", tensor::ones({10}));  // replacement shrinks usage
+  EXPECT_EQ(e.used_bytes(), 40);
+  EXPECT_EQ(e.entry_count(), 1);
+  e.store("b", tensor::ones({5}));
+  EXPECT_EQ(e.used_bytes(), 60);
+  EXPECT_EQ(e.keys().size(), 2u);
+}
+
+TEST(Enclave, CapacityEnforced) {
+  enclave e{256};  // 64 floats
+  e.store("a", tensor::ones({32}));
+  EXPECT_THROW(e.store("b", tensor::ones({64})), enclave_capacity_error);
+  // The failed store must not corrupt accounting.
+  EXPECT_EQ(e.used_bytes(), 128);
+  EXPECT_FALSE(e.contains("b"));
+}
+
+TEST(Enclave, TrustZoneBudgetMatchesPaperConstraint) {
+  // The paper's motivation: TrustZone secure memory is ~30 MB, far below
+  // model sizes (>500 MB), hence partial shielding.
+  enclave e;
+  EXPECT_EQ(e.capacity_bytes(), 30ll * 1024 * 1024);
+}
+
+TEST(Enclave, EraseAndClear) {
+  enclave e;
+  e.store("a", tensor::ones({8}));
+  e.store("b", tensor::ones({8}));
+  e.erase("a");
+  EXPECT_FALSE(e.contains("a"));
+  EXPECT_EQ(e.used_bytes(), 32);
+  e.erase("missing");  // no-op
+  e.clear();
+  EXPECT_EQ(e.used_bytes(), 0);
+  EXPECT_EQ(e.entry_count(), 0);
+}
+
+TEST(Enclave, LoadMissingKeyThrowsInSecureWorld) {
+  enclave e;
+  secure_session session{e};
+  EXPECT_THROW(e.load("nope"), error);
+}
+
+TEST(Enclave, IdempotentStoresKeepUsageConstant) {
+  // Iterated attacks re-shield the same pass: keys repeat, usage is stable
+  // (the paper's worst case of an unflushed enclave).
+  enclave e;
+  for (int i = 0; i < 10; ++i) e.store("u3", tensor::ones({64}));
+  EXPECT_EQ(e.used_bytes(), 256);
+}
+
+TEST(Sealing, RoundTrip) {
+  byte_buffer plain{1, 2, 3, 4, 5, 250};
+  const sealed_blob blob = seal(plain, 0xdeadbeef);
+  EXPECT_NE(blob.ciphertext, plain);  // actually encrypted
+  EXPECT_EQ(unseal(blob, 0xdeadbeef), plain);
+}
+
+TEST(Sealing, TamperDetected) {
+  byte_buffer plain{9, 9, 9, 9};
+  sealed_blob blob = seal(plain, 0x1234);
+  blob.ciphertext[1] ^= 0x40;
+  EXPECT_THROW(unseal(blob, 0x1234), error);
+}
+
+TEST(Sealing, WrongKeyDetected) {
+  const sealed_blob blob = seal(byte_buffer{7, 7, 7}, 0x1111);
+  EXPECT_THROW(unseal(blob, 0x2222), error);
+}
+
+TEST(Sealing, EmptyBufferRoundTrips) {
+  const sealed_blob blob = seal(byte_buffer{}, 5);
+  EXPECT_TRUE(unseal(blob, 5).empty());
+}
+
+TEST(Enclave, SealedEntryExportImport) {
+  enclave e;
+  rng g{1};
+  const tensor secret = tensor::randn(g, {3, 3});
+  e.store("w", secret);
+  const sealed_blob blob = e.seal_entry("w");
+
+  enclave e2;
+  e2.import_sealed("w", blob);
+  secure_session session{e2};
+  const tensor& back = e2.load("w");
+  for (std::int64_t i = 0; i < secret.numel(); ++i) EXPECT_FLOAT_EQ(back[i], secret[i]);
+}
+
+TEST(Enclave, MeasurementReflectsContents) {
+  enclave a, b;
+  EXPECT_EQ(a.measurement(), b.measurement());  // both empty
+  a.store("w", tensor::ones({4}));
+  EXPECT_NE(a.measurement(), b.measurement());
+  b.store("w", tensor::ones({4}));
+  EXPECT_EQ(a.measurement(), b.measurement());  // same contents, same measure
+  b.store("w2", tensor::zeros({1}));
+  EXPECT_NE(a.measurement(), b.measurement());
+}
+
+TEST(Enclave, TransferCostsAccrue) {
+  cost_model costs;
+  costs.world_switch_ns = 1000.0;
+  costs.per_byte_ns = 1.0;
+  enclave e{1 << 20, costs};
+  e.reset_statistics();
+  e.store("x", tensor::ones({256}));  // 1 KiB across the boundary
+  const auto& s = e.statistics();
+  EXPECT_EQ(s.bytes_in, 1024);
+  // 2 switches (ecall in/out) + 1024 bytes * 1 ns
+  EXPECT_NEAR(s.simulated_ns, 2 * 1000.0 + 1024.0, 1e-6);
+}
+
+TEST(Enclave, FnvHashIsStable) {
+  const std::uint8_t data[] = {1, 2, 3};
+  EXPECT_EQ(fnv1a(data, 3), fnv1a(data, 3));
+  EXPECT_NE(fnv1a(data, 3), fnv1a(data, 2));
+}
+
+}  // namespace
+}  // namespace pelta::tee

@@ -1,0 +1,199 @@
+// TEE extensions: platform profiles, switchless HotCalls, and the §VI
+// training-phase secure update channel.
+#include <gtest/gtest.h>
+
+#include "tee/hotcalls.h"
+#include "tee/profiles.h"
+#include "tee/update_channel.h"
+#include "tensor/ops.h"
+
+namespace pelta::tee {
+namespace {
+
+// ---- profiles ---------------------------------------------------------------
+
+TEST(Profiles, MatchTheCitedLiterature) {
+  const tee_profile tz = profile(tee_profile_kind::trustzone_optee);
+  const tee_profile sgx = profile(tee_profile_kind::sgx_classic);
+  const tee_profile hot = profile(tee_profile_kind::sgx_hotcalls);
+
+  EXPECT_EQ(tz.capacity_bytes, 30ll * 1024 * 1024);  // the paper's constraint
+  EXPECT_GT(sgx.capacity_bytes, tz.capacity_bytes);  // EPC > TrustZone secure RAM
+  EXPECT_GT(sgx.costs.world_switch_ns, tz.costs.world_switch_ns);  // ecall > SMC
+  EXPECT_LT(hot.costs.world_switch_ns, 0.1 * sgx.costs.world_switch_ns);  // switchless
+  EXPECT_EQ(all_profiles().size(), 3u);
+}
+
+TEST(Profiles, MakeEnclaveEnforcesTheProfileCapacity) {
+  enclave e = make_enclave(tee_profile_kind::trustzone_optee);
+  EXPECT_EQ(e.capacity_bytes(), 30ll * 1024 * 1024);
+  // 10M floats = 40 MB > 30 MB cap.
+  EXPECT_THROW(e.store("too-big", tensor::zeros({10'000'000})), enclave_capacity_error);
+}
+
+// ---- hotcalls ---------------------------------------------------------------
+
+TEST(HotCalls, StoreLoadRoundTripsThroughTheWorker) {
+  enclave e{1 << 20};
+  rng g{3};
+  const tensor v = tensor::rand_uniform(g, {4, 4});
+  {
+    hotcall_server server{e};
+    server.store("k", v);
+    EXPECT_TRUE(server.contains("k"));
+    const tensor back = server.load("k");
+    for (std::int64_t i = 0; i < v.numel(); ++i) EXPECT_FLOAT_EQ(back[i], v[i]);
+    server.erase("k");
+    EXPECT_FALSE(server.contains("k"));
+  }
+  EXPECT_EQ(e.current_world(), world::normal);  // returned on shutdown
+}
+
+TEST(HotCalls, LifetimeCostsTwoSwitchesRegardlessOfCallCount) {
+  enclave e{1 << 22};
+  e.reset_statistics();
+  {
+    hotcall_server server{e};
+    for (std::int64_t i = 0; i < 50; ++i)
+      server.store("k" + std::to_string(i % 4), tensor::full({8}, static_cast<float>(i)));
+  }
+  // enter + exit only; the 50 stores crossed via the polled slot.
+  EXPECT_EQ(e.statistics().world_switches, 2);
+  EXPECT_EQ(e.statistics().stores, 50);
+}
+
+TEST(HotCalls, BeatsPerCallWorldSwitchingOnModeledLatency) {
+  const tee_profile p = profile(tee_profile_kind::sgx_classic);
+  const std::int64_t n = 100;
+  const tensor v = tensor::zeros({16});
+
+  enclave classic{1 << 22, p.costs};
+  classic.reset_statistics();
+  for (std::int64_t i = 0; i < n; ++i) classic.store("k", v);  // 2 switches each
+
+  enclave hot{1 << 22, profile(tee_profile_kind::sgx_hotcalls).costs};
+  hot.reset_statistics();
+  {
+    hotcall_server server{hot};
+    for (std::int64_t i = 0; i < n; ++i) server.store("k", v);
+  }
+  EXPECT_LT(hot.statistics().simulated_ns, 0.2 * classic.statistics().simulated_ns);
+}
+
+TEST(HotCalls, ErrorsPropagateToTheCaller) {
+  enclave e{1 << 20};
+  hotcall_server server{e};
+  EXPECT_THROW((void)server.load("missing"), error);
+  // the server survives the error and keeps serving
+  server.store("x", tensor::ones({2}));
+  EXPECT_TRUE(server.contains("x"));
+}
+
+TEST(HotCalls, CapacityErrorsCrossTheSlotToo) {
+  enclave e{64};  // tiny enclave
+  hotcall_server server{e};
+  EXPECT_THROW(server.store("big", tensor::zeros({1024})), error);
+}
+
+TEST(HotCalls, SustainsManySerializedCalls) {
+  enclave e{1 << 22};
+  hotcall_server server{e};
+  for (std::int64_t i = 0; i < 300; ++i) {
+    server.store("slot", tensor::full({4}, static_cast<float>(i)));
+    const tensor back = server.load("slot");
+    ASSERT_FLOAT_EQ(back[0], static_cast<float>(i));
+  }
+  const hotcall_stats s = server.statistics();
+  EXPECT_EQ(s.calls, 600);
+  EXPECT_GT(s.simulated_ns, 0.0);
+}
+
+// ---- §VI secure update channel ---------------------------------------------------
+
+TEST(UpdateChannel, AveragesExactlyOverThePullPeriod) {
+  enclave e{1 << 20};
+  secure_update_channel ch{e, 4};
+  for (std::int64_t b = 0; b < 4; ++b) {
+    ch.push_batch({tensor::full({3}, static_cast<float>(b + 1)),
+                   tensor::full({2}, 2.0f * static_cast<float>(b))});
+    EXPECT_EQ(ch.ready(), b == 3);
+  }
+  const std::vector<tensor> avg = ch.pull();
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_FLOAT_EQ(avg[0][0], (1.0f + 2.0f + 3.0f + 4.0f) / 4.0f);
+  EXPECT_FLOAT_EQ(avg[1][0], (0.0f + 2.0f + 4.0f + 6.0f) / 4.0f);
+  EXPECT_EQ(ch.pending_batches(), 0);
+  EXPECT_EQ(ch.pulls(), 1);
+}
+
+TEST(UpdateChannel, BoundaryBytesScaleInverselyWithPullPeriod) {
+  const auto run = [](std::int64_t period) {
+    enclave e{1 << 22};
+    secure_update_channel ch{e, period};
+    for (std::int64_t b = 0; b < 8; ++b) {
+      ch.push_batch({tensor::ones({256})});
+      if (ch.ready()) (void)ch.pull();
+    }
+    if (ch.pending_batches() > 0) (void)ch.pull();  // end-of-round flush
+    return ch;
+  };
+  const secure_update_channel every = run(1);
+  const secure_update_channel fourth = run(4);
+  EXPECT_EQ(every.pulls(), 8);
+  EXPECT_EQ(fourth.pulls(), 2);
+  EXPECT_EQ(every.bytes_pulled(), 4 * fourth.bytes_pulled());
+}
+
+TEST(UpdateChannel, EnclaveIsCleanAfterPull) {
+  enclave e{1 << 20};
+  secure_update_channel ch{e, 2};
+  ch.push_batch({tensor::ones({8})});
+  ch.push_batch({tensor::ones({8})});
+  EXPECT_GT(e.used_bytes(), 0);
+  (void)ch.pull();
+  EXPECT_EQ(e.used_bytes(), 0);
+  EXPECT_EQ(e.entry_count(), 0);
+}
+
+TEST(UpdateChannel, ContractViolationsThrow) {
+  enclave e{1 << 20};
+  EXPECT_THROW((secure_update_channel{e, 0}), error);
+
+  secure_update_channel ch{e, 2};
+  EXPECT_THROW((void)ch.pull(), error);  // nothing accumulated
+  ch.push_batch({tensor::ones({4})});
+  EXPECT_THROW(ch.push_batch({tensor::ones({4}), tensor::ones({4})}), error);  // count change
+  EXPECT_THROW(ch.push_batch({tensor::ones({5})}), error);                     // shape change
+}
+
+TEST(UpdateChannel, CapacityErrorsSurfaceOnPush) {
+  enclave e{64};  // 16 floats — too small for the accumulators below
+  secure_update_channel ch{e, 2};
+  EXPECT_THROW(ch.push_batch({tensor::ones({1024})}), enclave_capacity_error);
+}
+
+TEST(HotCalls, TwoClientThreadsSerializeSafely) {
+  enclave e{1 << 22};
+  hotcall_server server{e};
+  auto hammer = [&](std::int64_t base) {
+    for (std::int64_t i = 0; i < 100; ++i)
+      server.store("k" + std::to_string(base + i), tensor::full({4}, static_cast<float>(i)));
+  };
+  std::thread a{hammer, 0}, b{hammer, 1000};
+  a.join();
+  b.join();
+  EXPECT_EQ(e.entry_count(), 200);
+  EXPECT_EQ(server.statistics().calls, 200);
+}
+
+TEST(UpdateChannel, EarlyFlushAveragesThePartialWindow) {
+  enclave e{1 << 20};
+  secure_update_channel ch{e, 8};
+  ch.push_batch({tensor::full({2}, 1.0f)});
+  ch.push_batch({tensor::full({2}, 3.0f)});
+  const std::vector<tensor> avg = ch.pull();  // flush after 2 of 8
+  EXPECT_FLOAT_EQ(avg[0][0], 2.0f);
+}
+
+}  // namespace
+}  // namespace pelta::tee
