@@ -1,0 +1,33 @@
+# pelta_add_test(<name> LABEL <unit|integration|property> TIMEOUT <sec>
+#                [PER_BINARY])
+#
+# Builds tests/<name>.cpp into a gtest binary linked against pelta::pelta
+# and registers it with CTest. By default individual cases are discovered
+# via gtest_discover_tests so `ctest -j` parallelises across cases. Pass
+# PER_BINARY for fixture-heavy suites: the whole binary registers as one
+# CTest test, so per-case process spawns don't re-pay expensive setup
+# (training tiny victim models) 5-20x over — this is what keeps
+# `ctest -L unit` a sub-minute inner loop on a single core.
+function(pelta_add_test name)
+  cmake_parse_arguments(ARG "PER_BINARY" "LABEL;TIMEOUT" "" ${ARGN})
+  if(NOT ARG_LABEL OR NOT ARG_TIMEOUT)
+    message(FATAL_ERROR "pelta_add_test(${name}) requires LABEL and TIMEOUT")
+  endif()
+
+  add_executable(${name} ${name}.cpp)
+  target_link_libraries(${name} PRIVATE pelta::pelta GTest::gtest_main pelta_build_flags)
+
+  # Sanitized builds run ~10x slower; scale the timeouts, don't fail on them.
+  if(PELTA_SANITIZE)
+    math(EXPR ARG_TIMEOUT "${ARG_TIMEOUT} * 10")
+  endif()
+
+  if(ARG_PER_BINARY)
+    add_test(NAME ${name} COMMAND ${name})
+    set_tests_properties(${name} PROPERTIES LABELS ${ARG_LABEL} TIMEOUT ${ARG_TIMEOUT})
+  else()
+    gtest_discover_tests(${name}
+      PROPERTIES LABELS ${ARG_LABEL} TIMEOUT ${ARG_TIMEOUT}
+      DISCOVERY_TIMEOUT 60)
+  endif()
+endfunction()

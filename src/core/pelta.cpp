@@ -1,9 +1,12 @@
 #include "core/pelta.h"
 
 #include "autodiff/ops_loss.h"
+#include "core/version.h"
 #include "tensor/ops.h"
 
 namespace pelta {
+
+const char* version_string() { return PELTA_VERSION_STRING; }
 
 defended_model::defended_model(std::unique_ptr<models::model> m, std::int64_t enclave_capacity)
     : model_{std::move(m)}, enclave_{enclave_capacity} {
@@ -60,6 +63,6 @@ std::unique_ptr<attacks::gradient_oracle> defended_model::attacker_oracle(std::u
   return attacks::make_shielded_oracle(*model_, seed, &enclave_);
 }
 
-const char* version() { return "pelta 1.0.0 (ICDCS'23 reproduction)"; }
+const char* version() { return "pelta " PELTA_VERSION_STRING " (ICDCS'23 reproduction)"; }
 
 }  // namespace pelta

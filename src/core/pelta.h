@@ -20,6 +20,9 @@
 
 namespace pelta {
 
+/// Bare library version as configured by the build (major.minor.patch).
+const char* version_string();
+
 class defended_model {
 public:
   explicit defended_model(std::unique_ptr<models::model> m,

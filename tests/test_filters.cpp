@@ -1,0 +1,73 @@
+// models/filters: the fixed band-pass input filters encoding the CNN/ViT
+// frequency biases. They are constant graph nodes, so the key contracts are
+// the filter semantics and that gradients keep flowing to the pixel input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/graph.h"
+#include "models/filters.h"
+#include "tensor/tensor.h"
+
+namespace pelta::models {
+namespace {
+
+TEST(Filters, BoxBlurPreservesConstantInterior) {
+  // Zero padding only affects the border ring: interior pixels of a
+  // constant image are unchanged by a 3x3 box blur.
+  ad::graph g;
+  const ad::node_id x = g.add_input(tensor::full({1, 2, 5, 5}, 0.75f));
+  const ad::node_id y = apply_box_blur(g, x, 2, "lowpass");
+  const tensor& out = g.value(y);
+  ASSERT_EQ(out.shape(), (shape_t{1, 2, 5, 5}));
+  for (std::int64_t c = 0; c < 2; ++c)
+    for (std::int64_t i = 1; i < 4; ++i)
+      for (std::int64_t j = 1; j < 4; ++j)
+        EXPECT_NEAR(out.at(0, c, i, j), 0.75f, 1e-5f);
+  // Border rows see zero padding, so they average in zeros and shrink.
+  EXPECT_LT(out.at(0, 0, 0, 0), 0.75f);
+}
+
+TEST(Filters, HighPassOfConstantIsZeroInterior) {
+  ad::graph g;
+  const ad::node_id x = g.add_input(tensor::full({1, 3, 6, 6}, 0.4f));
+  const ad::node_id y = apply_high_pass(g, x, 3, "highpass");
+  const tensor& out = g.value(y);
+  for (std::int64_t c = 0; c < 3; ++c)
+    for (std::int64_t i = 1; i < 5; ++i)
+      for (std::int64_t j = 1; j < 5; ++j)
+        EXPECT_NEAR(out.at(0, c, i, j), 0.0f, 1e-4f);
+}
+
+TEST(Filters, HighPassAmplifiesByGain) {
+  // An isolated spike: high-pass response at the spike is
+  // gain * (1 - 1/9) of its magnitude.
+  tensor img = tensor::zeros({1, 1, 5, 5});
+  img.at(0, 0, 2, 2) = 1.0f;
+  ad::graph g2, g4;
+  const ad::node_id x2 = g2.add_input(img);
+  const ad::node_id y2 = apply_high_pass(g2, x2, 1, "hp", 2.0f);
+  const ad::node_id x4 = g4.add_input(img);
+  const ad::node_id y4 = apply_high_pass(g4, x4, 1, "hp", 4.0f);
+  EXPECT_NEAR(g4.value(y4).at(0, 0, 2, 2) / g2.value(y2).at(0, 0, 2, 2), 2.0f, 1e-4f);
+}
+
+TEST(Filters, GradientsFlowThroughToPixels) {
+  // Attacks operate in pixel space: backward through the fixed filter must
+  // reach the input with nonzero adjoints.
+  rng g{5};
+  for (const bool high_pass : {false, true}) {
+    ad::graph gr;
+    const ad::node_id x = gr.add_input(tensor::rand_uniform(g, {1, 2, 5, 5}));
+    const ad::node_id y = high_pass ? apply_high_pass(gr, x, 2, "hp")
+                                    : apply_box_blur(gr, x, 2, "lp");
+    gr.backward_from(y, tensor::ones(gr.value(y).shape()));
+    const tensor& adj = gr.adjoint(x);
+    float norm = 0.0f;
+    for (std::int64_t i = 0; i < adj.numel(); ++i) norm += std::fabs(adj[i]);
+    EXPECT_GT(norm, 0.0f) << "high_pass=" << high_pass;
+  }
+}
+
+}  // namespace
+}  // namespace pelta::models

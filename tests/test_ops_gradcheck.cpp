@@ -108,6 +108,32 @@ std::vector<op_case> all_cases() {
                    [] { return make_conv2d(2, 1, false); },
                    {{1, 2, 6, 6}, {3, 2, 3, 3}},
                    {0, 1}});
+  // Stride/padding edge cases: valid (pad=0) convs, pad wider than kernel//2,
+  // stride 3, 1x1 kernels, rectangular inputs, batch > 1.
+  cases.push_back({"conv2d_pad0",
+                   [] { return make_conv2d(1, 0, true); },
+                   {{1, 2, 5, 5}, {3, 2, 3, 3}, {3}},
+                   {0, 1, 2}});
+  cases.push_back({"conv2d_stride2_pad0",
+                   [] { return make_conv2d(2, 0, false); },
+                   {{1, 2, 7, 7}, {3, 2, 3, 3}},
+                   {0, 1}});
+  cases.push_back({"conv2d_stride2_pad2",
+                   [] { return make_conv2d(2, 2, true); },
+                   {{1, 2, 5, 5}, {2, 2, 3, 3}, {2}},
+                   {0, 1, 2}});
+  cases.push_back({"conv2d_stride3",
+                   [] { return make_conv2d(3, 1, false); },
+                   {{1, 2, 8, 8}, {3, 2, 3, 3}},
+                   {0, 1}});
+  cases.push_back({"conv2d_1x1",
+                   [] { return make_conv2d(1, 0, false); },
+                   {{1, 3, 4, 4}, {2, 3, 1, 1}},
+                   {0, 1}});
+  cases.push_back({"conv2d_rect_batch2",
+                   [] { return make_conv2d(1, 1, true); },
+                   {{2, 2, 4, 6}, {3, 2, 3, 3}, {3}},
+                   {0, 1, 2}});
   cases.push_back(
       {"maxpool", [] { return make_maxpool2x2(); }, {{1, 2, 4, 4}}, {0}, kink_free_gen});
   cases.push_back({"global_avgpool", [] { return make_global_avgpool(); }, {{2, 3, 4, 4}}, {0}});
@@ -119,6 +145,20 @@ std::vector<op_case> all_cases() {
   cases.push_back({"groupnorm",
                    [] { return make_groupnorm(2); },
                    {{2, 4, 3, 3}, {4}, {4}},
+                   {0, 1, 2}});
+  // Norm edge cases: one group (layernorm-over-channels) and one group per
+  // channel (instance-norm-like).
+  cases.push_back({"groupnorm_1group",
+                   [] { return make_groupnorm(1); },
+                   {{2, 4, 3, 3}, {4}, {4}},
+                   {0, 1, 2}});
+  cases.push_back({"groupnorm_per_channel",
+                   [] { return make_groupnorm(4); },
+                   {{2, 4, 3, 3}, {4}, {4}},
+                   {0, 1, 2}});
+  cases.push_back({"layernorm_eps",
+                   [] { return make_layernorm_lastdim(1e-3f); },
+                   {{2, 4, 6}, {6}, {6}},
                    {0, 1, 2}});
   cases.push_back(
       {"weight_standardize", [] { return make_weight_standardize(); }, {{3, 2, 3, 3}}, {0}});

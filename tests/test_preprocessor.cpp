@@ -1,0 +1,98 @@
+// defenses/preprocessor: the common input-transformation interface and the
+// chain combinator the software defenses (randomization / quantization /
+// encoding) compose through.
+#include <gtest/gtest.h>
+
+#include "defenses/encoding.h"
+#include "defenses/preprocessor.h"
+#include "defenses/quantization.h"
+#include "defenses/randomization.h"
+#include "tensor/tensor.h"
+
+namespace pelta::defenses {
+namespace {
+
+tensor probe_image(std::uint64_t seed = 9) {
+  rng g{seed};
+  return tensor::rand_uniform(g, {3, 8, 8});
+}
+
+TEST(PreprocessorChain, EmptyChainIsIdentity) {
+  preprocessor_chain chain;
+  EXPECT_TRUE(chain.empty());
+  EXPECT_FALSE(chain.randomized());
+  EXPECT_FALSE(chain.shatters_gradient());
+
+  rng g{1};
+  const tensor img = probe_image();
+  const tensor out = chain.apply(img, g);
+  ASSERT_EQ(out.shape(), img.shape());
+  for (std::int64_t i = 0; i < img.numel(); ++i) EXPECT_EQ(out[i], img[i]);
+}
+
+TEST(PreprocessorChain, FlagsAggregateAcrossStages) {
+  preprocessor_chain chain;
+  chain.add(std::make_unique<gaussian_noise>(0.05f));
+  EXPECT_TRUE(chain.randomized());
+  EXPECT_FALSE(chain.shatters_gradient());  // noise is differentiable
+
+  chain.add(std::make_unique<bit_depth_quantizer>(4));
+  EXPECT_TRUE(chain.randomized());
+  EXPECT_TRUE(chain.shatters_gradient());  // quantizer staircase
+  EXPECT_EQ(chain.size(), 2);
+}
+
+TEST(PreprocessorChain, DescribeJoinsStageNames) {
+  preprocessor_chain chain;
+  chain.add(std::make_unique<bit_depth_quantizer>(4));
+  chain.add(std::make_unique<gaussian_noise>(0.05f));
+  const std::string desc = chain.describe();
+  EXPECT_NE(desc.find(chain.stage(0).name()), std::string::npos);
+  EXPECT_NE(desc.find(chain.stage(1).name()), std::string::npos);
+}
+
+TEST(PreprocessorChain, AppliesStagesFrontToBack) {
+  // quantize-then-noise differs from noise-then-quantize: the latter's
+  // output lands exactly on the quantizer grid.
+  const tensor img = probe_image();
+  const std::int64_t levels = bit_depth_quantizer{3}.levels();
+
+  preprocessor_chain noise_then_quant;
+  noise_then_quant.add(std::make_unique<gaussian_noise>(0.1f));
+  noise_then_quant.add(std::make_unique<bit_depth_quantizer>(3));
+  rng g{2};
+  const tensor out = noise_then_quant.apply(img, g);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float scaled = out[i] * static_cast<float>(levels);
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-3f);
+  }
+}
+
+TEST(Preprocessor, ShapeAndRangePreserved) {
+  const tensor img = probe_image();
+  rng g{3};
+  preprocessor_chain chain;
+  chain.add(std::make_unique<random_resize_pad>(2));
+  chain.add(std::make_unique<bit_depth_quantizer>(5));
+  chain.add(std::make_unique<gaussian_noise>(0.02f));
+  for (int rep = 0; rep < 4; ++rep) {
+    const tensor out = chain.apply(img, g);
+    ASSERT_EQ(out.shape(), img.shape());
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      EXPECT_GE(out[i], 0.0f);
+      EXPECT_LE(out[i], 1.0f);
+    }
+  }
+}
+
+TEST(Preprocessor, DeterministicStagesIgnoreRngState) {
+  const tensor img = probe_image();
+  bit_depth_quantizer q{4};
+  rng g1{1}, g2{999};
+  const tensor a = q.apply(img, g1);
+  const tensor b = q.apply(img, g2);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace pelta::defenses

@@ -1,0 +1,31 @@
+// The configured version header and its runtime accessor.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/pelta.h"
+#include "core/version.h"
+
+namespace pelta {
+namespace {
+
+TEST(Version, AccessorMatchesConfiguredHeader) {
+  ASSERT_NE(version_string(), nullptr);
+  EXPECT_STREQ(version_string(), PELTA_VERSION_STRING);
+}
+
+TEST(Version, BannerEmbedsConfiguredVersion) {
+  // The human-facing banner and the machine-facing string must agree.
+  EXPECT_NE(std::string{version()}.find(version_string()), std::string::npos);
+}
+
+TEST(Version, StringAgreesWithComponents) {
+  const std::string expected = std::to_string(PELTA_VERSION_MAJOR) + "." +
+                               std::to_string(PELTA_VERSION_MINOR) + "." +
+                               std::to_string(PELTA_VERSION_PATCH);
+  EXPECT_EQ(std::string{PELTA_VERSION_STRING}, expected);
+}
+
+}  // namespace
+}  // namespace pelta
