@@ -105,7 +105,10 @@ byte_buffer aggregate_states(const byte_buffer& reference,
                       "trim_fraction " << config.trim_fraction << " outside [0, 0.5)");
       std::size_t k =
           static_cast<std::size_t>(std::floor(static_cast<double>(n) * config.trim_fraction));
-      if (k == 0 && n >= 3) k = 1;
+      // A caller explicitly asking for trim_fraction == 0 gets the plain
+      // mean; the k = 1 floor only backstops a positive fraction that
+      // rounds to zero at small n.
+      if (k == 0 && config.trim_fraction > 0.0f && n >= 3) k = 1;
       PELTA_CHECK_MSG(2 * k < n, "trimming discards every update (n=" << n << ", k=" << k << ")");
       std::vector<float> column(n);
       const float inv = 1.0f / static_cast<float>(n - 2 * k);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "tensor/parallel.h"
+
 namespace pelta::fl {
 
 federation::federation(const federation_config& config, const model_factory& factory,
@@ -45,16 +47,25 @@ std::vector<fl_client*> federation::sample_round_participants() {
 void federation::run_round() {
   const byte_buffer global = server_.broadcast();
   const std::vector<fl_client*> participants = sample_round_participants();
-  std::vector<model_update> updates;
-  updates.reserve(participants.size());
-  for (fl_client* client : participants) {
-    network_.record(static_cast<std::int64_t>(global.size()));  // broadcast leg
+  local_train_config local = config_.local;
+  local.seed = config_.seed + static_cast<std::uint64_t>(server_.round());
+
+  // Train the round's participants concurrently. Each client owns its model
+  // and derives its rng stream from (id, round), so every update is
+  // bit-identical to the serial schedule; the pre-sized slot array keeps
+  // them in participant order for aggregation.
+  std::vector<model_update> updates(participants.size());
+  parallel_for(static_cast<std::int64_t>(participants.size()), 1, [&](std::int64_t i) {
+    fl_client* client = participants[static_cast<std::size_t>(i)];
     client->receive_global(global);
-    local_train_config local = config_.local;
-    local.seed = config_.seed + static_cast<std::uint64_t>(server_.round());
-    model_update u = client->local_update(local);
-    network_.record(static_cast<std::int64_t>(u.parameters.size()));  // upload leg
-    updates.push_back(std::move(u));
+    updates[static_cast<std::size_t>(i)] = client->local_update(local);
+  });
+
+  // Replay network accounting in participant order after the join so the
+  // metered stats are deterministic for every thread count.
+  for (const model_update& u : updates) {
+    network_.record(static_cast<std::int64_t>(global.size()));            // broadcast leg
+    network_.record(static_cast<std::int64_t>(u.parameters.size()));      // upload leg
   }
   server_.aggregate(updates, config_.aggregation);
 }

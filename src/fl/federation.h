@@ -44,7 +44,7 @@ public:
   /// The compromised clients (empty when config.compromised == 0).
   std::vector<compromised_client*> compromised_clients();
 
-  const network_stats& traffic() const { return network_.stats(); }
+  network_stats traffic() const { return network_.stats(); }
 
   /// Global-model accuracy on the dataset's test split.
   float global_test_accuracy() const;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 namespace pelta::fl {
 
@@ -23,7 +24,11 @@ public:
       : ns_per_byte_{ns_per_byte}, per_message_ns_{per_message_ns} {}
 
   /// Record one message of `bytes` payload; returns its simulated latency.
+  /// Thread-safe; still, for *deterministic* stats, record in a fixed order
+  /// (federation::run_round replays the legs in participant order after the
+  /// training join rather than from inside worker threads).
   double record(std::int64_t bytes) {
+    std::lock_guard<std::mutex> lock{mutex_};
     ++stats_.messages;
     stats_.bytes += bytes;
     const double ns = per_message_ns_ + ns_per_byte_ * static_cast<double>(bytes);
@@ -31,12 +36,21 @@ public:
     return ns;
   }
 
-  const network_stats& stats() const { return stats_; }
-  void reset() { stats_ = {}; }
+  /// Snapshot of the counters. Taken under the lock so a reader never sees
+  /// a half-applied record() from another thread.
+  network_stats stats() const {
+    std::lock_guard<std::mutex> lock{mutex_};
+    return stats_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stats_ = {};
+  }
 
 private:
   double ns_per_byte_;
   double per_message_ns_;
+  mutable std::mutex mutex_;
   network_stats stats_;
 };
 

@@ -9,12 +9,10 @@ tensor predict(const model& m, const tensor& images) {
   PELTA_CHECK_MSG(images.ndim() == 4, "predict expects [B,C,H,W]");
   const std::int64_t n = images.size(0);
   const std::int64_t c = images.size(1), h = images.size(2), w = images.size(3);
-  constexpr std::int64_t k_chunk = 16;  // parallel chunks keep eval fast on big splits
-  const std::int64_t chunks = (n + k_chunk - 1) / k_chunk;
+  constexpr std::int64_t k_grain = 16;  // images per chunk keep eval fast on big splits
 
   tensor preds{shape_t{n}};
-  parallel_for(chunks, [&](std::int64_t chunk) {
-    const std::int64_t lo = chunk * k_chunk, hi = std::min(n, lo + k_chunk);
+  parallel_for_range(n, k_grain, [&](std::int64_t lo, std::int64_t hi) {
     tensor part{shape_t{hi - lo, c, h, w}};
     auto src = images.data();
     std::copy(src.begin() + lo * c * h * w, src.begin() + hi * c * h * w,

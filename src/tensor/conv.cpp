@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "tensor/parallel.h"
 
 namespace pelta::ops {
 
@@ -59,20 +63,11 @@ void col2im(const float* cols, float* img, std::int64_t c, std::int64_t h, std::
       }
 }
 
-// Cache-friendly i-k-j matmul: out[m,n] += a[m,k] * b[k,n].
-void gemm_accumulate(const float* a, const float* b, float* out, std::int64_t m, std::int64_t k,
-                     std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
+using detail::finite_cache;
+using detail::gemm_accumulate;
+
+// Below this per-batch flop count the pool submit overhead beats the split.
+constexpr std::int64_t k_conv_parallel_flops = 1 << 15;
 
 }  // namespace
 
@@ -91,20 +86,29 @@ tensor conv2d(const tensor& input, const tensor& weight, const tensor& bias, std
   PELTA_CHECK_MSG(oh > 0 && ow > 0, "conv2d output collapsed");
 
   // im2col + GEMM: out[n] = W [OC, C*KH*KW] x cols [C*KH*KW, OH*OW].
+  // Images write disjoint output slices, so splitting the batch across the
+  // pool is bit-identical to the serial loop; each chunk owns a cols buffer.
   const std::int64_t krows = c * kh * kw, spatial = oh * ow;
-  std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
   tensor out{shape_t{b, oc, oh, ow}};
   const float* in = input.data().data();
   const float* wt = weight.data().data();
   float* op = out.data().data();
-  for (std::int64_t n = 0; n < b; ++n) {
-    im2col(in + n * c * h * w, cols.data(), c, h, w, kh, kw, stride, pad, oh, ow);
-    float* obase = op + n * oc * spatial;
-    if (has_bias)
-      for (std::int64_t o = 0; o < oc; ++o)
-        for (std::int64_t s = 0; s < spatial; ++s) obase[o * spatial + s] = bias[o];
-    gemm_accumulate(wt, cols.data(), obase, oc, krows, spatial);
-  }
+  const auto batch_range = [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
+    for (std::int64_t n = lo; n < hi; ++n) {
+      im2col(in + n * c * h * w, cols.data(), c, h, w, kh, kw, stride, pad, oh, ow);
+      float* obase = op + n * oc * spatial;
+      if (has_bias)
+        for (std::int64_t o = 0; o < oc; ++o)
+          for (std::int64_t s = 0; s < spatial; ++s) obase[o * spatial + s] = bias[o];
+      finite_cache cols_finite;  // per image; unused while weights stay dense
+      gemm_accumulate(wt, cols.data(), obase, oc, krows, spatial, cols_finite);
+    }
+  };
+  if (b >= 2 && b * oc * krows * spatial >= k_conv_parallel_flops)
+    parallel_for_range(b, 0, batch_range);
+  else
+    batch_range(0, b);
   return out;
 }
 
@@ -127,15 +131,24 @@ tensor conv2d_backward_input(const tensor& grad_out, const tensor& weight, std::
       for (std::int64_t r = 0; r < krows; ++r)
         wt_t[static_cast<std::size_t>(r * oc + o)] = wt[o * krows + r];
   }
-  std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
   tensor grad_in{input_shape};
   const float* go = grad_out.data().data();
   float* gi = grad_in.data().data();
-  for (std::int64_t n = 0; n < b; ++n) {
-    std::fill(cols.begin(), cols.end(), 0.0f);
-    gemm_accumulate(wt_t.data(), go + n * oc * spatial, cols.data(), krows, oc, spatial);
-    col2im(cols.data(), gi + n * c * h * w, c, h, w, kh, kw, stride, pad, oh, ow);
-  }
+  // Per-image gradients are disjoint: split the batch, one cols per chunk.
+  const auto batch_range = [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
+    for (std::int64_t n = lo; n < hi; ++n) {
+      std::fill(cols.begin(), cols.end(), 0.0f);
+      const float* gslice = go + n * oc * spatial;
+      finite_cache grad_finite;  // per image; unused while weights stay dense
+      gemm_accumulate(wt_t.data(), gslice, cols.data(), krows, oc, spatial, grad_finite);
+      col2im(cols.data(), gi + n * c * h * w, c, h, w, kh, kw, stride, pad, oh, ow);
+    }
+  };
+  if (b >= 2 && b * krows * oc * spatial >= k_conv_parallel_flops)
+    parallel_for_range(b, 0, batch_range);
+  else
+    batch_range(0, b);
   return grad_in;
 }
 
@@ -155,13 +168,17 @@ tensor conv2d_backward_weight(const tensor& grad_out, const tensor& input, std::
   const float* go = grad_out.data().data();
   const float* in = input.data().data();
   float* gw = grad_w.data().data();
+  // Serial on purpose: every image accumulates into the same grad_w, and a
+  // batch split would change the float summation order with the thread
+  // count — breaking the bit-identical-across-PELTA_THREADS guarantee.
   for (std::int64_t n = 0; n < b; ++n) {
     im2col(in + n * c * h * w, cols.data(), c, h, w, kh, kw, stride, pad, oh, ow);
     for (std::int64_t r = 0; r < krows; ++r)
       for (std::int64_t s = 0; s < spatial; ++s)
         cols_t[static_cast<std::size_t>(s * krows + r)] =
             cols[static_cast<std::size_t>(r * spatial + s)];
-    gemm_accumulate(go + n * oc * spatial, cols_t.data(), gw, oc, spatial, krows);
+    finite_cache cols_finite;  // per image; consulted only if grad_out has zeros
+    gemm_accumulate(go + n * oc * spatial, cols_t.data(), gw, oc, spatial, krows, cols_finite);
   }
   return grad_w;
 }

@@ -1,0 +1,56 @@
+// Shared dense inner kernels for the tensor backends (ops.cpp, conv.cpp).
+// Internal to src/tensor — not part of the public surface.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace pelta::ops::detail {
+
+inline bool all_finite(const float* p, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i)
+    if (!std::isfinite(p[i])) return false;
+  return true;
+}
+
+/// Lazily computed finiteness of one B operand: -1 unknown, 0 has
+/// non-finite values, 1 all finite. Dense A operands never trigger the
+/// scan; chunks of one parallel split share the cache so B is scanned at
+/// most once per operand (the duplicated-scan race is benign — both
+/// writers store the same value).
+class finite_cache {
+public:
+  bool check(const float* b, std::int64_t count) {
+    int s = state_.load(std::memory_order_relaxed);
+    if (s < 0) {
+      s = all_finite(b, count) ? 1 : 0;
+      state_.store(s, std::memory_order_relaxed);
+    }
+    return s == 1;
+  }
+
+private:
+  std::atomic<int> state_{-1};
+};
+
+// Cache-friendly i-k-j matmul: out[m,n] += a[m,k] * b[k,n]; out must hold
+// the accumulation base (zeros or bias). The zero-skip fast path is only
+// sound when B is fully finite: 0 * Inf and 0 * NaN are NaN, and a poisoned
+// update must surface, not vanish through a zero-weight row — hence the
+// lazy finiteness gate, consulted only when a zero actually appears in A.
+inline void gemm_accumulate(const float* a, const float* b, float* out, std::int64_t m,
+                            std::int64_t k, std::int64_t n, finite_cache& b_finite) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f && b_finite.check(b, k * n)) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace pelta::ops::detail

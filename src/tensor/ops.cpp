@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
+#include "tensor/parallel.h"
+
 namespace pelta::ops {
 
 namespace {
@@ -160,20 +163,10 @@ float dot(const tensor& a, const tensor& b) {
 
 namespace {
 
-// Cache-friendly i-k-j kernel; out must be zero-initialized [M,N].
-void matmul_accumulate(const float* a, const float* b, float* out, std::int64_t m, std::int64_t k,
-                       std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
+using detail::gemm_accumulate;
+
+// Below this flop count the pool submit overhead beats the row split.
+constexpr std::int64_t k_parallel_flops = 1 << 15;
 
 }  // namespace
 
@@ -184,7 +177,18 @@ tensor matmul(const tensor& a, const tensor& b) {
                   "matmul inner dim mismatch " << to_string(a.shape()) << " x " << to_string(b.shape()));
   const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   tensor out{shape_t{m, n}};
-  matmul_accumulate(a.data().data(), b.data().data(), out.data().data(), m, k, n);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  detail::finite_cache b_finite;  // shared across chunks: B scanned at most once
+  if (m >= 2 && m * k * n >= k_parallel_flops) {
+    // Output rows are disjoint, so the split is bit-identical to serial.
+    parallel_for_range(m, 0, [&](std::int64_t lo, std::int64_t hi) {
+      gemm_accumulate(pa + lo * k, pb, po + lo * n, hi - lo, k, n, b_finite);
+    });
+  } else {
+    gemm_accumulate(pa, pb, po, m, k, n, b_finite);
+  }
   return out;
 }
 
@@ -195,9 +199,19 @@ tensor bmm(const tensor& a, const tensor& b) {
                   "bmm shape mismatch " << to_string(a.shape()) << " x " << to_string(b.shape()));
   const std::int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
   tensor out{shape_t{bt, m, n}};
-  for (std::int64_t i = 0; i < bt; ++i)
-    matmul_accumulate(a.data().data() + i * m * k, b.data().data() + i * k * n,
-                      out.data().data() + i * m * n, m, k, n);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  const auto one_batch = [&](std::int64_t i) {
+    const float* bslice = pb + i * k * n;
+    detail::finite_cache b_finite;  // per batch: each has its own B slice
+    gemm_accumulate(pa + i * m * k, bslice, po + i * m * n, m, k, n, b_finite);
+  };
+  if (bt >= 2 && bt * m * k * n >= k_parallel_flops) {
+    parallel_for(bt, one_batch);  // batches write disjoint output slices
+  } else {
+    for (std::int64_t i = 0; i < bt; ++i) one_batch(i);
+  }
   return out;
 }
 

@@ -1,13 +1,150 @@
 #include "tensor/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "tensor/check.h"
+
 namespace pelta {
+
+namespace {
+
+thread_local int tl_region_depth = 0;  // > 0: executing a pool chunk
+thread_local int tl_serial_depth = 0;  // serial_guard nesting
+thread_local int tl_thread_limit = 0;  // concurrency_guard cap (0 = none)
+
+// One fork-join loop in flight. Lives on the submitter's stack; the pool
+// deque only holds it between submission and completion, and every field
+// except `cancelled` is guarded by the pool mutex.
+struct pool_job {
+  std::int64_t n = 0;
+  std::int64_t grain = 1;
+  std::int64_t chunk_count = 0;
+  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+  int width = 1;         // max participating threads, submitter included
+  int participants = 1;  // submitter counts itself
+  std::int64_t next_chunk = 0;
+  int in_flight = 0;  // chunks claimed but not yet retired
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr error;
+
+  bool drained() const {
+    return cancelled.load(std::memory_order_relaxed) || next_chunk >= chunk_count;
+  }
+  bool finished() const { return drained() && in_flight == 0; }
+};
+
+thread_local const pool_job* tl_current_job = nullptr;
+
+class thread_pool {
+public:
+  static thread_pool& instance() {
+    static thread_pool pool;
+    return pool;
+  }
+
+  int max_participants() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run `job` to completion. The calling thread participates; idle workers
+  /// join until job.width threads are attached. Returns with job.error set
+  /// to the first body exception (if any) and no thread touching `job`.
+  void run(pool_job& job) {
+    std::unique_lock<std::mutex> lock{mutex_};
+    jobs_.push_back(&job);
+    if (job.width > 1) work_cv_.notify_all();
+    work_on(job, lock);
+    done_cv_.wait(lock, [&job] { return job.finished(); });
+    // Workers release the mutex only while a claimed chunk is in flight, so
+    // finished() observed under the lock implies every worker has detached.
+    jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), &job), jobs_.end());
+  }
+
+private:
+  thread_pool() {
+    const int workers = parallel_thread_count() - 1;
+    workers_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
+    for (int t = 0; t < workers; ++t) workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~thread_pool() {
+    {
+      std::lock_guard<std::mutex> lock{mutex_};
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  pool_job* claimable_job() {
+    for (pool_job* job : jobs_)
+      if (!job->drained() && job->participants < job->width) return job;
+    return nullptr;
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock{mutex_};
+    for (;;) {
+      pool_job* job = claimable_job();
+      if (job == nullptr) {
+        if (shutdown_) return;
+        work_cv_.wait(lock);
+        continue;
+      }
+      ++job->participants;
+      work_on(*job, lock);
+      --job->participants;
+      if (job->finished()) done_cv_.notify_all();
+    }
+  }
+
+  /// Claim and execute chunks of `job` until it drains. Called (and returns)
+  /// with the lock held; releases it only around body execution.
+  void work_on(pool_job& job, std::unique_lock<std::mutex>& lock) {
+    while (!job.drained()) {
+      const std::int64_t chunk = job.next_chunk++;
+      ++job.in_flight;
+      lock.unlock();
+
+      const std::int64_t lo = chunk * job.grain;
+      const std::int64_t hi = std::min(job.n, lo + job.grain);
+      const pool_job* enclosing = tl_current_job;
+      tl_current_job = &job;
+      ++tl_region_depth;
+      std::exception_ptr thrown;
+      try {
+        (*job.body)(lo, hi);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      --tl_region_depth;
+      tl_current_job = enclosing;
+
+      lock.lock();
+      --job.in_flight;
+      if (thrown) {
+        if (!job.error) job.error = thrown;
+        job.cancelled.store(true, std::memory_order_relaxed);
+      }
+      if (job.finished()) done_cv_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: new job arrived / shutdown
+  std::condition_variable done_cv_;  // submitters: some job finished
+  std::deque<pool_job*> jobs_;
+  bool shutdown_ = false;
+};
+
+}  // namespace
 
 int parallel_thread_count() {
   static const int count = [] {
@@ -21,36 +158,76 @@ int parallel_thread_count() {
   return count;
 }
 
-void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body) {
+bool in_parallel_region() { return tl_region_depth > 0; }
+
+bool parallel_cancelled() {
+  return tl_current_job != nullptr &&
+         tl_current_job->cancelled.load(std::memory_order_relaxed);
+}
+
+void parallel_for_range(std::int64_t n, std::int64_t grain,
+                        const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (n <= 0) return;
-  const int threads = static_cast<int>(std::min<std::int64_t>(parallel_thread_count(), n));
-  if (threads == 1) {
-    for (std::int64_t i = 0; i < n; ++i) body(i);
+
+  int width = parallel_thread_count();
+  if (tl_thread_limit > 0) width = std::min(width, tl_thread_limit);
+  if (grain <= 0) grain = std::max<std::int64_t>(1, n / (8 * static_cast<std::int64_t>(width)));
+  const std::int64_t chunk_count = (n + grain - 1) / grain;
+  width = static_cast<int>(std::min<std::int64_t>(width, chunk_count));
+
+  // Inline (serial) execution still honors the chunk boundaries, so bodies
+  // sized for a grain (e.g. bounded batch memory) behave the same way.
+  const auto run_inline = [&] {
+    for (std::int64_t lo = 0; lo < n; lo += grain) body(lo, std::min(n, lo + grain));
+  };
+
+  if (width <= 1 || tl_region_depth > 0 || tl_serial_depth > 0) {
+    run_inline();
     return;
   }
 
-  std::atomic<std::int64_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  thread_pool& pool = thread_pool::instance();
+  width = std::min(width, pool.max_participants());
+  if (width <= 1) {
+    run_inline();
+    return;
+  }
 
-  auto worker = [&] {
-    for (;;) {
-      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock{error_mutex};
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  pool_job job;
+  job.n = n;
+  job.grain = grain;
+  job.chunk_count = chunk_count;
+  job.body = &body;
+  job.width = width;
+  pool.run(job);
+  if (job.error) std::rethrow_exception(job.error);
 }
+
+void parallel_for(std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t)>& body) {
+  parallel_for_range(n, grain, [&body](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      // Cooperative cancellation stays exception-ful: a sibling's failure
+      // must never let a loop complete silently with indices skipped. The
+      // first real error still wins the rethrow (it is recorded before the
+      // cancelled flag becomes visible); this throw also aborts loops
+      // running inline under a cancelled enclosing sweep.
+      if (parallel_cancelled()) throw error{"parallel_for cancelled by a sibling failure"};
+      body(i);
+    }
+  });
+}
+
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body) {
+  parallel_for(n, 0, body);
+}
+
+serial_guard::serial_guard() { ++tl_serial_depth; }
+serial_guard::~serial_guard() { --tl_serial_depth; }
+
+concurrency_guard::concurrency_guard(int max_threads) : previous_{tl_thread_limit} {
+  tl_thread_limit = std::max(max_threads, 1);
+}
+concurrency_guard::~concurrency_guard() { tl_thread_limit = previous_; }
 
 }  // namespace pelta

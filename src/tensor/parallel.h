@@ -1,7 +1,21 @@
-// Minimal deterministic parallel-for used by the attack evaluation harness.
+// Persistent work-queue thread pool behind the library's data parallelism.
 //
-// Work items are indexed; each item derives its own rng stream from the
-// experiment seed, so results are identical regardless of thread count.
+// A lazy singleton pool (parallel_thread_count() - 1 workers; the submitting
+// thread always participates) executes chunked index ranges. Work items are
+// indexed; each item derives its own rng stream from the experiment seed and
+// writes only its own output slots, so results are bit-identical regardless
+// of thread count or chunk partitioning.
+//
+// Guarantees:
+//   * Nesting-safe: a parallel_for issued from inside a pool chunk runs
+//     inline on the calling thread instead of deadlocking the pool. Inner
+//     loops (matmul rows, conv images) therefore cost nothing extra when an
+//     outer loop (FL clients, attack candidates) already owns the workers.
+//   * Cancellation: the first body that throws cancels the sweep — no new
+//     chunks are claimed, sibling per-index loops stop at the next index —
+//     and the exception is rethrown on the submitting thread after every
+//     in-flight chunk has retired.
+//   * PELTA_THREADS=k caps the pool (k=1 never spawns a thread).
 #pragma once
 
 #include <cstdint>
@@ -9,12 +23,65 @@
 
 namespace pelta {
 
-/// Number of worker threads used by parallel_for. Defaults to the hardware
-/// concurrency, overridable via the PELTA_THREADS environment variable.
+/// Number of threads parallel loops may use (pool workers + the submitter).
+/// Defaults to the hardware concurrency, overridable via the PELTA_THREADS
+/// environment variable (read once, at first use).
 int parallel_thread_count();
 
-/// Run body(i) for i in [0, n) across the pool. Exceptions thrown by any
-/// body are captured and rethrown (first one wins) after all workers join.
+/// True while the calling thread is executing a pool chunk. Loops submitted
+/// from such a context run inline.
+bool in_parallel_region();
+
+/// True once a sibling chunk of the innermost enclosing parallel loop has
+/// thrown. Long-running bodies may poll this to exit early; the per-index
+/// parallel_for overloads check it between indices automatically.
+bool parallel_cancelled();
+
+/// Run body(lo, hi) over disjoint subranges covering [0, n) in chunks of
+/// `grain` indices (the last chunk may be short). grain <= 0 picks an
+/// automatic grain of ~8 chunks per available thread. The body must not
+/// depend on the chunk partitioning (it varies with thread count); in
+/// return, results are bit-identical for every PELTA_THREADS value.
+/// Exceptions thrown by any chunk cancel the sweep and are rethrown
+/// (first one wins) after all in-flight chunks retire.
+void parallel_for_range(std::int64_t n, std::int64_t grain,
+                        const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// Per-index form of parallel_for_range: body(i) for i in [0, n), grouped
+/// into grain-sized claims. Checks parallel_cancelled() between indices and
+/// aborts by throwing, so a sweep ends promptly after the first failure and
+/// never completes silently partial (the first real error wins the rethrow).
+void parallel_for(std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t)>& body);
+
+/// Per-index form with automatic grain (grain 1 whenever n is within ~8x
+/// the thread count — heavy, unevenly sized items load-balance per item).
 void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body);
+
+/// RAII: forces every parallel loop submitted by this thread (and, via
+/// inline nesting, everything below it) to run serially on this thread.
+/// The serial schedule is the reference the determinism suite compares the
+/// pooled schedule against.
+class serial_guard {
+public:
+  serial_guard();
+  ~serial_guard();
+  serial_guard(const serial_guard&) = delete;
+  serial_guard& operator=(const serial_guard&) = delete;
+};
+
+/// RAII: caps the number of threads (pool workers + submitter) any parallel
+/// loop submitted by this thread may use, without resizing the pool. The
+/// scaling bench sweeps 1/2/4/8 this way inside one process.
+class concurrency_guard {
+public:
+  explicit concurrency_guard(int max_threads);
+  ~concurrency_guard();
+  concurrency_guard(const concurrency_guard&) = delete;
+  concurrency_guard& operator=(const concurrency_guard&) = delete;
+
+private:
+  int previous_;
+};
 
 }  // namespace pelta

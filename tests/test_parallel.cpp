@@ -1,0 +1,186 @@
+// Persistent thread-pool runtime: chunked range dispatch, grain edge cases,
+// nesting safety, cancellation, and the serial / concurrency guards.
+//
+// The static initializer pins PELTA_THREADS=8 (without overriding an
+// explicit environment setting, e.g. the CI PELTA_THREADS=2 leg) before the
+// pool's first use, so real workers are exercised even on single-core hosts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/parallel.h"
+
+namespace pelta {
+namespace {
+
+const bool k_threads_pinned = [] {
+  setenv("PELTA_THREADS", "8", /*overwrite=*/0);
+  return true;
+}();
+
+TEST(Pool, ThreadCountHonorsEnvironment) {
+  ASSERT_TRUE(k_threads_pinned);
+  const char* env = std::getenv("PELTA_THREADS");
+  ASSERT_NE(env, nullptr);
+  const int parsed = std::atoi(env);
+  if (parsed >= 1)
+    EXPECT_EQ(parallel_thread_count(), parsed);
+  else  // empty/garbage values fall back to the hardware concurrency
+    EXPECT_GE(parallel_thread_count(), 1);
+}
+
+TEST(Pool, CoversEveryIndexExactlyOnce) {
+  constexpr std::int64_t n = 20000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  parallel_for(n, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (std::int64_t i = 0; i < n; ++i) ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(Pool, RangeChunksPartitionOnGrainBoundaries) {
+  constexpr std::int64_t n = 1003, grain = 17;
+  std::mutex mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  parallel_for_range(n, grain, [&](std::int64_t lo, std::int64_t hi) {
+    std::lock_guard<std::mutex> lock{mu};
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(static_cast<std::int64_t>(chunks.size()), (n + grain - 1) / grain);
+  std::int64_t expect_lo = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_EQ(lo % grain, 0);
+    EXPECT_LE(hi - lo, grain);
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, n);
+}
+
+TEST(Pool, GrainEdgeCases) {
+  // n = 0: body never runs.
+  bool ran = false;
+  parallel_for_range(0, 4, [&](std::int64_t, std::int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+
+  // grain > n: a single chunk covering everything.
+  std::mutex mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  parallel_for_range(3, 100, [&](std::int64_t lo, std::int64_t hi) {
+    std::lock_guard<std::mutex> lock{mu};
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::int64_t, std::int64_t>{0, 3}));
+
+  // n smaller than the thread count: every index still runs exactly once.
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  parallel_for(3, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Pool, NestedParallelForRunsInlineOnTheSameThread) {
+  constexpr std::int64_t outer_n = 12, inner_n = 64;
+  std::vector<std::int64_t> sums(outer_n, 0);
+  std::atomic<int> nested_offloads{0};
+  parallel_for(outer_n, 1, [&](std::int64_t o) {
+    const std::thread::id outer_thread = std::this_thread::get_id();
+    EXPECT_TRUE(in_parallel_region() || parallel_thread_count() == 1);
+    std::int64_t local = 0;
+    parallel_for(inner_n, [&](std::int64_t i) {
+      if (std::this_thread::get_id() != outer_thread) nested_offloads.fetch_add(1);
+      local += i;  // safe: the nested loop must run inline, single-threaded
+    });
+    sums[static_cast<std::size_t>(o)] = local;
+  });
+  EXPECT_EQ(nested_offloads.load(), 0) << "nested loop escaped to another thread";
+  for (std::int64_t s : sums) EXPECT_EQ(s, inner_n * (inner_n - 1) / 2);
+}
+
+TEST(Pool, NestedThrowPropagatesToTheSubmitter) {
+  EXPECT_THROW(parallel_for(16, 1,
+                            [&](std::int64_t o) {
+                              parallel_for(8, [&](std::int64_t i) {
+                                if (o == 5 && i == 3) throw error{"inner boom"};
+                              });
+                            }),
+               error);
+}
+
+TEST(Pool, FirstFailureCancelsTheSweepPromptly) {
+  constexpr std::int64_t n = 1000000;
+  std::atomic<std::int64_t> executed{0};
+  EXPECT_THROW(parallel_for(n,
+                            [&](std::int64_t) {
+                              if (executed.fetch_add(1) == 0) throw error{"boom"};
+                            }),
+               error);
+  // Without cancellation every remaining index would still be dispatched;
+  // with it, at most the in-flight chunks finish their current index.
+  EXPECT_LT(executed.load(), n / 2) << "sweep kept dispatching after the failure";
+}
+
+TEST(Pool, SerialGuardForcesInlineExecution) {
+  serial_guard guard;
+  const std::thread::id main_thread = std::this_thread::get_id();
+  std::atomic<int> offloaded{0};
+  parallel_for(5000, [&](std::int64_t) {
+    if (std::this_thread::get_id() != main_thread) offloaded.fetch_add(1);
+  });
+  EXPECT_EQ(offloaded.load(), 0);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(Pool, ConcurrencyGuardCapsParticipants) {
+  concurrency_guard guard{2};
+  std::atomic<int> active{0}, peak{0};
+  parallel_for(2000, 1, [&](std::int64_t) {
+    const int now = active.fetch_add(1) + 1;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::yield();
+    active.fetch_sub(1);
+  });
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(Pool, WorkersActuallyParticipate) {
+  if (parallel_thread_count() < 2) GTEST_SKIP() << "pool disabled at 1 thread";
+  // Even on one core the mutex-gated chunk claims hand work to pool threads
+  // with overwhelming probability across a few attempts.
+  std::set<std::thread::id> seen;
+  std::mutex mu;
+  for (int attempt = 0; attempt < 20 && seen.size() < 2; ++attempt) {
+    parallel_for(4000, 1, [&](std::int64_t) {
+      {
+        std::lock_guard<std::mutex> lock{mu};
+        seen.insert(std::this_thread::get_id());
+      }
+      std::this_thread::yield();
+    });
+  }
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(Pool, ConcurrentSubmittersBothComplete) {
+  // Two external threads submit loops at once; the pool serves both.
+  std::atomic<std::int64_t> total{0};
+  std::thread other{[&] {
+    parallel_for(10000, [&](std::int64_t) { total.fetch_add(1); });
+  }};
+  parallel_for(10000, [&](std::int64_t) { total.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(total.load(), 20000);
+}
+
+}  // namespace
+}  // namespace pelta

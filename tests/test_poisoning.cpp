@@ -116,6 +116,33 @@ TEST(Aggregation, TrimmedMeanDropsBothTails) {
   EXPECT_NEAR(decode1(aggregate_states(ref, updates, cfg))[0], 2.0f, 1e-5f);
 }
 
+TEST(Aggregation, TrimmedMeanZeroFractionIsPlainMean) {
+  // Regression: an explicit trim_fraction of 0 used to hit the k = 1 floor
+  // at n >= 3 and silently discard the extreme updates anyway.
+  const byte_buffer ref = encode1({0.0f});
+  const std::vector<model_update> updates = {
+      make_update(0, 1, {-100.0f}), make_update(1, 1, {1.0f}), make_update(2, 1, {2.0f}),
+      make_update(3, 1, {3.0f}), make_update(4, 1, {100.0f})};
+  aggregation_config cfg;
+  cfg.rule = aggregation_rule::trimmed_mean;
+  cfg.trim_fraction = 0.0f;  // untrimmed: keep all five, tails included
+  EXPECT_NEAR(decode1(aggregate_states(ref, updates, cfg))[0],
+              (-100.0f + 1.0f + 2.0f + 3.0f + 100.0f) / 5.0f, 1e-5f);
+}
+
+TEST(Aggregation, TrimmedMeanFloorsSmallPositiveFractions) {
+  // A positive fraction that rounds to zero at small n still trims one per
+  // side — dropping the floor entirely would silently disable robustness.
+  const byte_buffer ref = encode1({0.0f});
+  const std::vector<model_update> updates = {
+      make_update(0, 1, {-100.0f}), make_update(1, 1, {1.0f}), make_update(2, 1, {2.0f}),
+      make_update(3, 1, {3.0f}), make_update(4, 1, {100.0f})};
+  aggregation_config cfg;
+  cfg.rule = aggregation_rule::trimmed_mean;
+  cfg.trim_fraction = 0.05f;  // floor(5 * 0.05) = 0 -> floored to k = 1
+  EXPECT_NEAR(decode1(aggregate_states(ref, updates, cfg))[0], 2.0f, 1e-5f);
+}
+
 TEST(Aggregation, TrimmedMeanRejectsDegenerateFractions) {
   const byte_buffer ref = encode1({0.0f});
   const std::vector<model_update> updates = {make_update(0, 1, {1.0f}),

@@ -2,6 +2,9 @@
 // algebra, serialization.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
 #include "tensor/serialize.h"
@@ -275,6 +278,62 @@ TEST(Rng, ForkStableRegardlessOfParentDraws) {
   (void)r1.normal();
   rng r2{42};
   EXPECT_EQ(r1.fork(5).next_u64(), r2.fork(5).next_u64());
+}
+
+TEST(Matmul, ZeroTimesNonFiniteStillPropagates) {
+  // Regression: the zero-skip fast path used to drop NaN/Inf coming from
+  // the B operand — a poisoned update could vanish through a zero weight.
+  tensor a{shape_t{1, 2}};
+  a[0] = 0.0f;
+  a[1] = 0.0f;
+  tensor b{shape_t{2, 1}};
+  b[0] = std::numeric_limits<float>::quiet_NaN();
+  b[1] = 1.0f;
+  const tensor out = ops::matmul(a, b);
+  EXPECT_TRUE(std::isnan(out[0]));
+
+  b[0] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isnan(ops::matmul(a, b)[0]));  // 0 * Inf = NaN
+}
+
+TEST(Matmul, ZeroSkipFastPathStaysExactOnFiniteInputs) {
+  rng g{7};
+  tensor a = tensor::randn(g, {5, 4});
+  a.at(1, 2) = 0.0f;  // exercise the skip
+  a.at(3, 0) = 0.0f;
+  tensor b = tensor::randn(g, {4, 3});
+  const tensor out = ops::matmul(a, b);
+  for (std::int64_t i = 0; i < 5; ++i)
+    for (std::int64_t j = 0; j < 3; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t k = 0; k < 4; ++k) acc += a.at(i, k) * b.at(k, j);
+      EXPECT_FLOAT_EQ(out.at(i, j), acc);
+    }
+}
+
+TEST(Bmm, NanInOneBatchPropagatesOnlyThere) {
+  tensor a = tensor::zeros({2, 1, 1});
+  tensor b = tensor::ones({2, 1, 1});
+  b[0] = std::numeric_limits<float>::quiet_NaN();
+  const tensor out = ops::bmm(a, b);
+  EXPECT_TRUE(std::isnan(out[0]));   // 0 * NaN
+  EXPECT_FLOAT_EQ(out[1], 0.0f);     // finite batch untouched
+}
+
+TEST(Matmul, ParallelRowSplitMatchesSerial) {
+  // Big enough to cross the parallel dispatch threshold; rows are disjoint,
+  // so the pooled result must be bit-identical to the forced-serial one.
+  rng g{11};
+  const tensor a = tensor::randn(g, {64, 32});
+  const tensor b = tensor::randn(g, {32, 48});
+  tensor serial;
+  {
+    serial_guard guard;
+    serial = ops::matmul(a, b);
+  }
+  const tensor pooled = ops::matmul(a, b);
+  ASSERT_TRUE(serial.same_shape(pooled));
+  for (std::int64_t i = 0; i < serial.numel(); ++i) EXPECT_EQ(serial[i], pooled[i]);
 }
 
 TEST(Parallel, MatchesSerialExecution) {
