@@ -1,5 +1,5 @@
-# pelta_add_test(<name> LABEL <unit|integration|property> TIMEOUT <sec>
-#                [PER_BINARY])
+# pelta_add_test(<name> LABEL <unit|integration|property> [<extra>...]
+#                TIMEOUT <sec> [PER_BINARY])
 #
 # Builds tests/<name>.cpp into a gtest binary linked against pelta::pelta
 # and registers it with CTest. By default individual cases are discovered
@@ -8,8 +8,11 @@
 # CTest test, so per-case process spawns don't re-pay expensive setup
 # (training tiny victim models) 5-20x over — this is what keeps
 # `ctest -L unit` a sub-minute inner loop on a single core.
+#
+# LABEL takes the primary label plus optional extras (e.g. `concurrency`,
+# which scopes the ThreadSanitizer CI leg to the pool/async suites).
 function(pelta_add_test name)
-  cmake_parse_arguments(ARG "PER_BINARY" "LABEL;TIMEOUT" "" ${ARGN})
+  cmake_parse_arguments(ARG "PER_BINARY" "TIMEOUT" "LABEL" ${ARGN})
   if(NOT ARG_LABEL OR NOT ARG_TIMEOUT)
     message(FATAL_ERROR "pelta_add_test(${name}) requires LABEL and TIMEOUT")
   endif()
@@ -24,10 +27,10 @@ function(pelta_add_test name)
 
   if(ARG_PER_BINARY)
     add_test(NAME ${name} COMMAND ${name})
-    set_tests_properties(${name} PROPERTIES LABELS ${ARG_LABEL} TIMEOUT ${ARG_TIMEOUT})
+    set_tests_properties(${name} PROPERTIES LABELS "${ARG_LABEL}" TIMEOUT ${ARG_TIMEOUT})
   else()
     gtest_discover_tests(${name}
-      PROPERTIES LABELS ${ARG_LABEL} TIMEOUT ${ARG_TIMEOUT}
+      PROPERTIES LABELS "${ARG_LABEL}" TIMEOUT ${ARG_TIMEOUT}
       DISCOVERY_TIMEOUT 60)
   endif()
 endfunction()

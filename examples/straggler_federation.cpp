@@ -1,0 +1,109 @@
+// Example: a heterogeneous edge fleet with a straggler — synchronous
+// barrier vs buffered asynchronous federation.
+//
+// The paper's §VI expects deployments to "harness the idle state of edge
+// devices to handle intermittent compute node availability": real fleets
+// mix fast and slow devices, and a synchronous round is hostage to its
+// slowest participant. This walk-through builds one fleet with a single 6x
+// straggler, trains the same model family under both runtimes, and shows
+// what the FedBuff-style buffer (fl/async.h) buys: aggregations keep
+// flowing at the fast clients' pace, stale updates are down-weighted by
+// 1/sqrt(1+s), and time-to-accuracy (on the simulated event clock the
+// network meters) drops well below the barrier's.
+//
+//   build/examples/straggler_federation
+#include <cstdio>
+#include <vector>
+
+#include "core/table.h"
+#include "fl/federation.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace pelta;
+
+  data::dataset_config dc = data::cifar10_like();
+  dc.classes = 6;
+  dc.train_per_class = 40;
+  dc.test_per_class = 15;
+  const data::dataset ds{dc};
+
+  const fl::model_factory factory = [&] {
+    models::task_spec task;
+    task.classes = dc.classes;
+    task.seed = 11;
+    return models::make_vit_b16_sim(task);
+  };
+
+  fl::federation_config cfg;
+  cfg.clients = 6;
+  cfg.compromised = 0;
+  cfg.local.epochs = 2;
+  cfg.local.batch_size = 16;
+  cfg.async.buffer_size = 3;
+  cfg.async.max_staleness = 6;
+  cfg.async.weighting = fl::staleness_weighting::inverse_sqrt;
+  cfg.async.heterogeneity.stragglers = 1;
+  cfg.async.heterogeneity.straggler_slowdown = 6.0;
+  cfg.async.heterogeneity.dropout_rate = 0.2;
+
+  const std::vector<fl::client_profile> profiles =
+      fl::make_client_profiles(cfg.clients, cfg.async.heterogeneity);
+  std::printf("fleet: %lld clients; compute scales:", static_cast<long long>(cfg.clients));
+  for (const fl::client_profile& p : profiles) std::printf(" %.1fx", p.compute_scale);
+  std::printf("  (20%% per-episode dropout)\n\n");
+
+  // ---- synchronous barrier: 6 rounds, each as slow as the straggler ---------
+  fl::federation sync_fed{cfg, factory, ds};
+  // Price the barrier with the federation's own simulated cost model.
+  const fl::network& net = sync_fed.net();
+  const std::int64_t payload =
+      static_cast<std::int64_t>(sync_fed.server().broadcast().size());
+  const auto episode_ns = [&](std::int64_t id) {
+    // Price sync rounds with the async planner's own cost model.
+    return fl::async_episode_ns(cfg.async, profiles[static_cast<std::size_t>(id)],
+                                sync_fed.client(id).shard_size(), cfg.local.epochs, payload,
+                                net);
+  };
+  const std::int64_t sync_rounds = 6;
+  double sync_clock_ns = 0.0;
+  for (std::int64_t r = 0; r < sync_rounds; ++r) {
+    double round_ns = 0.0;
+    for (const std::int64_t id : sync_fed.round_participant_ids(r))
+      round_ns = std::max(round_ns, episode_ns(id));
+    sync_fed.run_round();
+    sync_clock_ns += round_ns;
+  }
+  const float sync_acc = sync_fed.global_test_accuracy();
+  std::printf("  sync barrier: %lld rounds done\n", static_cast<long long>(sync_rounds));
+
+  // ---- buffered async: same applied-update budget ---------------------------
+  // 6 rounds x 6 clients = 36 updates = 12 flushes of K=3.
+  fl::federation async_fed{cfg, factory, ds};
+  const fl::async_report report = async_fed.run_async(12);
+  const float async_acc = async_fed.global_test_accuracy();
+  std::printf("  async buffer: %lld flushes done\n\n",
+              static_cast<long long>(report.aggregations));
+
+  text_table t;
+  t.set_header({"Runtime", "Updates applied", "Simulated time", "Global accuracy"});
+  t.add_row({"sync (barrier)", std::to_string(sync_rounds * cfg.clients),
+             fixed(sync_clock_ns / 1e6, 1) + " ms", pct(sync_acc)});
+  t.add_row({"async (K=3, 1/sqrt(1+s))", std::to_string(report.updates_applied),
+             fixed(report.simulated_ns / 1e6, 1) + " ms", pct(async_acc)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("async schedule: mean staleness %.2f (max %lld), %lld stale updates "
+              "discarded, %lld dropouts absorbed\n",
+              report.mean_staleness, static_cast<long long>(report.max_staleness_seen),
+              static_cast<long long>(report.updates_stale),
+              static_cast<long long>(report.updates_dropped));
+
+  const double speedup = sync_clock_ns / std::max(report.simulated_ns, 1.0);
+  std::printf("\nReading: the barrier waits %0.1fx longer for the same update budget —\n"
+              "every sync round is hostage to the 6x straggler, while the buffer\n"
+              "aggregates the five fast clients continuously and folds the straggler's\n"
+              "late (stale-weighted) update in when it finally lands.\n",
+              speedup);
+  return async_acc > 0.5f && speedup > 1.5 ? 0 : 1;
+}

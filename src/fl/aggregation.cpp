@@ -15,6 +15,27 @@ const char* aggregation_rule_name(aggregation_rule rule) {
   return "?";
 }
 
+const char* staleness_weighting_name(staleness_weighting weighting) {
+  switch (weighting) {
+    case staleness_weighting::none: return "none";
+    case staleness_weighting::inverse_sqrt: return "1/sqrt(1+s)";
+    case staleness_weighting::inverse_linear: return "1/(1+s)";
+  }
+  return "?";
+}
+
+float staleness_weight(staleness_weighting weighting, std::int64_t staleness) {
+  PELTA_CHECK_MSG(staleness >= 0, "negative staleness " << staleness);
+  switch (weighting) {
+    case staleness_weighting::none: return 1.0f;
+    case staleness_weighting::inverse_sqrt:
+      return 1.0f / std::sqrt(1.0f + static_cast<float>(staleness));
+    case staleness_weighting::inverse_linear:
+      return 1.0f / (1.0f + static_cast<float>(staleness));
+  }
+  return 1.0f;
+}
+
 namespace {
 
 std::vector<tensor> decode_state(const byte_buffer& buf) {
@@ -59,14 +80,30 @@ byte_buffer aggregate_states(const byte_buffer& reference,
 
   std::vector<std::vector<tensor>> states;
   states.reserve(updates.size());
-  std::int64_t total_samples = 0;
   for (const model_update& u : updates) {
     PELTA_CHECK_MSG(u.sample_count > 0, "update with non-positive sample count");
-    total_samples += u.sample_count;
     states.push_back(decode_state(u.parameters));
     check_structure(ref, states.back(), u.client_id);
   }
   const std::size_t n = states.size();
+
+  // Per-update weights for the weighted rules: sample count scaled by the
+  // staleness multiplier, normalized to sum to 1. The order-statistic rules
+  // (coordinate_median, trimmed_mean) ignore these by design.
+  std::vector<float> weights(n);
+  {
+    double total = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double w = static_cast<double>(updates[c].sample_count) *
+                       static_cast<double>(staleness_weight(config.staleness,
+                                                            updates[c].staleness));
+      weights[c] = static_cast<float>(w);
+      total += w;
+    }
+    PELTA_CHECK_MSG(total > 0.0, "aggregation weights sum to zero");
+    for (std::size_t c = 0; c < n; ++c)
+      weights[c] = static_cast<float>(static_cast<double>(weights[c]) / total);
+  }
 
   std::vector<tensor> out;
   out.reserve(ref.size());
@@ -75,8 +112,7 @@ byte_buffer aggregate_states(const byte_buffer& reference,
   switch (config.rule) {
     case aggregation_rule::fedavg: {
       for (std::size_t c = 0; c < n; ++c) {
-        const float w = static_cast<float>(updates[c].sample_count) /
-                        static_cast<float>(total_samples);
+        const float w = weights[c];
         for (std::size_t i = 0; i < out.size(); ++i) out[i].add_scaled_(states[c][i], w);
       }
       break;
@@ -136,8 +172,7 @@ byte_buffer aggregate_states(const byte_buffer& reference,
       // out = ref + weighted mean of clipped deltas
       for (std::size_t i = 0; i < out.size(); ++i) out[i] = ref[i];
       for (std::size_t c = 0; c < n; ++c) {
-        const float w = static_cast<float>(updates[c].sample_count) /
-                        static_cast<float>(total_samples);
+        const float w = weights[c];
         const float scale =
             norms[c] > cap ? static_cast<float>(cap / norms[c]) : 1.0f;
         for (std::size_t i = 0; i < out.size(); ++i)

@@ -28,6 +28,11 @@ struct model_update {
   std::int64_t client_id = -1;
   std::int64_t sample_count = 0;  ///< FedAvg weight
   byte_buffer parameters;         ///< serialized updated parameter values
+  /// Global versions that landed between the broadcast this update trained
+  /// from and the aggregation consuming it. Sync rounds aggregate at 0; the
+  /// async runtime (fl/async.h) stamps it so aggregation_config.staleness
+  /// can down-weight stale deltas.
+  std::int64_t staleness = 0;
 };
 
 class fl_client {

@@ -18,17 +18,26 @@ void secure_update_channel::push_batch(const std::vector<tensor>& frontier_grads
 
   // The gradients are *produced* inside the enclave during the shielded
   // backward pass — accumulating them is secure-world work, no boundary
-  // crossing happens here.
+  // crossing happens here. The sum is Kahan-compensated: a plain float
+  // accumulator drifts over large pull_periods (each add of a small
+  // gradient into a large sum sheds its low-order bits), while the
+  // compensation slot carries those bits so the averaged pull stays at
+  // double-reference precision.
   const secure_session session{*enclave_};
   for (std::size_t i = 0; i < frontier_grads.size(); ++i) {
     const std::string key = prefix_ + ".acc." + std::to_string(i);
+    const std::string comp_key = prefix_ + ".comp." + std::to_string(i);
     if (pending_ == 0) {
       enclave_->store(key, frontier_grads[i]);
+      enclave_->store(comp_key, tensor::zeros(frontier_grads[i].shape()));
     } else {
       const tensor& acc = enclave_->load(key);
       PELTA_CHECK_MSG(acc.same_shape(frontier_grads[i]),
                       "frontier gradient " << i << " changed shape mid-stream");
-      enclave_->store(key, ops::add(acc, frontier_grads[i]));
+      const tensor y = ops::sub(frontier_grads[i], enclave_->load(comp_key));
+      const tensor t = ops::add(acc, y);
+      enclave_->store(comp_key, ops::sub(ops::sub(t, acc), y));
+      enclave_->store(key, t);
     }
   }
   ++pending_;
@@ -47,8 +56,10 @@ std::vector<tensor> secure_update_channel::pull() {
     for (std::int64_t i = 0; i < slots_; ++i) {
       const std::string key = prefix_ + ".acc." + std::to_string(i);
       out.push_back(ops::mul_scalar(enclave_->load(key), inv));
-      bytes += out.back().byte_size();
+      bytes += out.back().byte_size();  // only the average crosses; the
+                                        // compensation slot never leaves
       enclave_->erase(key);
+      enclave_->erase(prefix_ + ".comp." + std::to_string(i));
     }
   }
   // The averaged update crosses to the normal world for the FL upload.

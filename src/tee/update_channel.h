@@ -27,8 +27,13 @@ public:
   secure_update_channel(enclave& e, std::int64_t pull_period,
                         const std::string& key_prefix = "channel");
 
-  /// Accumulate one batch's frontier gradients inside the enclave. All
-  /// calls must pass the same number of tensors with stable shapes.
+  /// Accumulate one batch's frontier gradients inside the enclave
+  /// (Kahan-compensated, so large pull_periods don't drift the float sum).
+  /// All calls must pass the same number of tensors with stable shapes.
+  /// Note: compensation doubles the channel's secure-memory footprint while
+  /// a window is open (one same-shape slot per accumulator — the cost any
+  /// double-precision accumulation would also pay against the ~30 MB cap);
+  /// pull() releases both slots.
   void push_batch(const std::vector<tensor>& frontier_grads);
 
   /// True when `pull_period` batches have accumulated since the last pull.

@@ -3,7 +3,9 @@
 // under PELTA_THREADS=1 vs PELTA_THREADS=8.
 //
 // Covered: a 6-client 2-round federation (global parameters, traffic
-// accounting) and a PGD evaluate_attack (robust-accuracy counters). The
+// accounting), a buffered-async run over a heterogeneous fleet (straggler +
+// dropout; schedule, staleness stamps and aggregates), and a PGD
+// evaluate_attack (robust-accuracy counters). The
 // static initializer pins PELTA_THREADS=8 (without overriding an explicit
 // environment setting, e.g. the CI PELTA_THREADS=2 leg) so the pooled runs
 // really cross threads even on single-core hosts.
@@ -89,6 +91,65 @@ TEST(Determinism, FederationRoundsBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.traffic.messages, pooled.traffic.messages);
   EXPECT_EQ(serial.traffic.bytes, pooled.traffic.bytes);
   EXPECT_EQ(serial.traffic.simulated_ns, pooled.traffic.simulated_ns);
+
+  EXPECT_EQ(serial.accuracy, pooled.accuracy);
+}
+
+struct async_outcome {
+  byte_buffer global;
+  network_stats traffic;
+  async_report report;
+  float accuracy = 0.0f;
+};
+
+async_outcome run_async_federation(bool force_serial) {
+  const data::dataset ds = small_dataset();
+  federation_config cfg;
+  cfg.clients = 6;
+  cfg.compromised = 1;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 8;
+  cfg.async.buffer_size = 2;
+  cfg.async.max_staleness = 4;
+  cfg.async.heterogeneity.compute_spread = 2.0;
+  cfg.async.heterogeneity.stragglers = 1;
+  cfg.async.heterogeneity.straggler_slowdown = 4.0;
+  cfg.async.heterogeneity.dropout_rate = 0.2;
+  federation fed{cfg, tiny_vit_factory(), ds};
+  async_outcome out;
+  {
+    std::unique_ptr<serial_guard> guard;
+    if (force_serial) guard = std::make_unique<serial_guard>();
+    out.report = fed.run_async(4);
+  }
+  out.global = fed.server().broadcast();
+  out.traffic = fed.traffic();
+  out.accuracy = fed.global_test_accuracy();
+  return out;
+}
+
+TEST(Determinism, AsyncFederationBitIdenticalAcrossThreadCounts) {
+  ASSERT_TRUE(k_threads_pinned);
+  const async_outcome serial = run_async_federation(/*force_serial=*/true);
+  const async_outcome pooled = run_async_federation(/*force_serial=*/false);
+
+  // The async schedule is planned on the simulated clock (never wall-clock),
+  // so buffer order, staleness stamps and the aggregated parameters are all
+  // bit-identical regardless of how the pool interleaves the training.
+  ASSERT_EQ(serial.global.size(), pooled.global.size());
+  EXPECT_TRUE(serial.global == pooled.global) << "async global parameters diverged";
+
+  EXPECT_EQ(serial.traffic.messages, pooled.traffic.messages);
+  EXPECT_EQ(serial.traffic.bytes, pooled.traffic.bytes);
+  EXPECT_EQ(serial.traffic.simulated_ns, pooled.traffic.simulated_ns);
+
+  EXPECT_EQ(serial.report.aggregations, pooled.report.aggregations);
+  EXPECT_EQ(serial.report.updates_applied, pooled.report.updates_applied);
+  EXPECT_EQ(serial.report.updates_dropped, pooled.report.updates_dropped);
+  EXPECT_EQ(serial.report.updates_stale, pooled.report.updates_stale);
+  EXPECT_EQ(serial.report.trainings, pooled.report.trainings);
+  EXPECT_EQ(serial.report.simulated_ns, pooled.report.simulated_ns);
+  EXPECT_EQ(serial.report.mean_staleness, pooled.report.mean_staleness);
 
   EXPECT_EQ(serial.accuracy, pooled.accuracy);
 }

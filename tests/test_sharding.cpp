@@ -141,6 +141,118 @@ TEST(Sharding, EveryClientKeepsAtLeastOneSampleUnderExtremeSkew) {
   }
 }
 
+TEST(Sharding, TinyAlphaStillCoversEverySampleDisjointly) {
+  const auto& ds = shard_dataset();
+  sharding_config cfg;
+  cfg.strategy = shard_strategy::dirichlet;
+  cfg.dirichlet_alpha = 0.01f;  // near-degenerate: most classes collapse to one client
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    cfg.seed = seed;
+    const auto shards = make_shards(ds, 8, cfg);
+    expect_valid_partition(shards, ds.train_size());
+  }
+}
+
+TEST(Sharding, MoreClientsThanClassesStillPartitions) {
+  data::dataset_config c = data::cifar10_like();
+  c.classes = 4;
+  c.train_per_class = 30;
+  c.test_per_class = 5;
+  const data::dataset ds{c};
+  for (const shard_strategy strategy :
+       {shard_strategy::iid, shard_strategy::by_class, shard_strategy::dirichlet}) {
+    sharding_config cfg;
+    cfg.strategy = strategy;
+    cfg.dirichlet_alpha = 0.1f;
+    const auto shards = make_shards(ds, 7, cfg);  // 7 clients > 4 classes
+    ASSERT_EQ(shards.size(), 7u) << shard_strategy_name(strategy);
+    expect_valid_partition(shards, ds.train_size());
+  }
+}
+
+TEST(Sharding, EmptyShardRedistributionPreservesThePartition) {
+  // A tiny dataset with extreme skew forces empty shards before
+  // fix_empty_shards moves one sample from the largest shard into each;
+  // the result must still be a disjoint full cover with no empties.
+  data::dataset_config c = data::cifar10_like();
+  c.classes = 2;
+  c.train_per_class = 30;
+  c.test_per_class = 5;
+  const data::dataset tiny{c};
+  sharding_config cfg;
+  cfg.strategy = shard_strategy::dirichlet;
+  cfg.dirichlet_alpha = 0.01f;  // 2 classes over 10 clients: >= 8 empties pre-fix
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    cfg.seed = seed;
+    const auto shards = make_shards(tiny, 10, cfg);
+    expect_valid_partition(shards, tiny.train_size());
+    for (const auto& s : shards) EXPECT_FALSE(s.empty());
+  }
+}
+
+TEST(Federation, ParticipationFloorsAtHalfBoundaries) {
+  // Regression: llround(0.5 * 5) picked 3 of 5 clients — more than the
+  // requested fraction. Floor semantics keep it at 2.
+  const auto& ds = shard_dataset();
+  models::task_spec task;
+  task.image_size = ds.config().image_size;
+  task.classes = ds.config().classes;
+  federation_config fc;
+  fc.clients = 5;
+  fc.compromised = 0;
+  fc.participation = 0.5f;
+  federation fed{fc, [&] { return models::make_model("ViT-B/16", task); }, ds};
+  for (std::int64_t round = 0; round < 4; ++round)
+    EXPECT_EQ(fed.round_participant_ids(round).size(), 2u);
+
+  // Floor must absorb float representation error from either side: 0.3f
+  // stores above 0.3 and 0.7f below 0.7 — both must reach their exact count.
+  fc.clients = 10;
+  fc.participation = 0.3f;
+  federation three{fc, [&] { return models::make_model("ViT-B/16", task); }, ds};
+  EXPECT_EQ(three.round_participant_ids(0).size(), 3u);
+  fc.participation = 0.7f;
+  federation seven{fc, [&] { return models::make_model("ViT-B/16", task); }, ds};
+  EXPECT_EQ(seven.round_participant_ids(0).size(), 7u);
+}
+
+TEST(Federation, RoundSamplingVariesAcrossRoundsAndSeeds) {
+  // Regression for the weak seed ^ (0xab5e17 + round * 131) mix: the round
+  // seed now routes through a splitmix64 finalizer, so consecutive rounds
+  // draw visibly different participant sets.
+  const auto& ds = shard_dataset();
+  models::task_spec task;
+  task.image_size = ds.config().image_size;
+  task.classes = ds.config().classes;
+  federation_config fc;
+  fc.clients = 10;
+  fc.compromised = 0;
+  fc.participation = 0.4f;
+  federation fed{fc, [&] { return models::make_model("ViT-B/16", task); }, ds};
+
+  std::set<std::vector<std::int64_t>> distinct;
+  for (std::int64_t round = 0; round < 8; ++round) {
+    std::vector<std::int64_t> ids = fed.round_participant_ids(round);
+    EXPECT_EQ(ids.size(), 4u);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::set<std::int64_t>(ids.begin(), ids.end()).size(), ids.size());
+    distinct.insert(std::move(ids));
+  }
+  // 8 draws of 4-of-10: collisions are possible, ubiquity is not.
+  EXPECT_GE(distinct.size(), 4u);
+
+  // The preview is deterministic per (seed, round) and shifts with the seed.
+  federation same{fc, [&] { return models::make_model("ViT-B/16", task); }, ds};
+  EXPECT_EQ(fed.round_participant_ids(3), same.round_participant_ids(3));
+  fc.seed = fc.seed + 1;
+  federation other{fc, [&] { return models::make_model("ViT-B/16", task); }, ds};
+  bool any_difference = false;
+  for (std::int64_t round = 0; round < 8; ++round)
+    any_difference =
+        any_difference || fed.round_participant_ids(round) != other.round_participant_ids(round);
+  EXPECT_TRUE(any_difference);
+}
+
 TEST(Federation, PartialParticipationHalvesTheTraffic) {
   const auto& ds = shard_dataset();
   models::task_spec task;

@@ -186,6 +186,36 @@ TEST(HotCalls, TwoClientThreadsSerializeSafely) {
   EXPECT_EQ(server.statistics().calls, 200);
 }
 
+TEST(UpdateChannel, LargePullPeriodMatchesADoubleReference) {
+  // Regression: the accumulator used to sum in plain float, so a large
+  // pull_period drifted — adding a small gradient into a large running sum
+  // sheds its low-order bits entirely (1e6 + 0.003 == 1e6 in float). The
+  // Kahan-compensated slot carries those bits; the averaged pull must pin
+  // to a double-precision reference.
+  enclave e{1 << 20};
+  const std::int64_t period = 256;
+  secure_update_channel ch{e, period};
+
+  // One huge gradient then 255 tiny ones, each below half an ulp of the
+  // running sum (ulp(2^20) = 0.125): a plain float accumulator drops every
+  // single one of them.
+  double reference = 0.0;
+  for (std::int64_t b = 0; b < period; ++b) {
+    const float g = b == 0 ? 1048576.0f : 0.03f;
+    reference += static_cast<double>(g);
+    ch.push_batch({tensor::full({4}, g)});
+  }
+  ASSERT_TRUE(ch.ready());
+  const std::vector<tensor> avg = ch.pull();
+  reference /= static_cast<double>(period);
+
+  // Naive float accumulation would land ~3e-2 off the reference (all 255
+  // small gradients lost); the compensated sum stays within ~1 accumulator
+  // ulp, i.e. ~5e-4 after averaging.
+  for (std::int64_t j = 0; j < 4; ++j)
+    EXPECT_NEAR(static_cast<double>(avg[0][j]), reference, 5e-3);
+}
+
 TEST(UpdateChannel, EarlyFlushAveragesThePartialWindow) {
   enclave e{1 << 20};
   secure_update_channel ch{e, 8};
