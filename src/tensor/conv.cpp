@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "tensor/kernels.h"
 #include "tensor/parallel.h"
+#include "tensor/scratch.h"
 
 namespace pelta::ops {
 
@@ -15,8 +15,23 @@ std::int64_t conv_out_dim(std::int64_t in, std::int64_t k, std::int64_t stride, 
   return (in + 2 * pad - k) / stride + 1;
 }
 
+// True floor/ceil division for a possibly negative numerator, positive b.
+std::int64_t div_floor(std::int64_t a, std::int64_t b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+std::int64_t div_ceil(std::int64_t a, std::int64_t b) {
+  return a > 0 ? (a + b - 1) / b : -(-a / b);
+}
+
 // im2col: expand one image [C,H,W] into a column matrix
 // [C*KH*KW, OH*OW] so the convolution becomes a single matmul.
+//
+// Padded-edge handling is fringe-only: the in-bounds output window
+// [y_lo,y_hi)×[x_lo,x_hi) is solved per (ky,kx) offset up front, the
+// interior is copied branch-free (memcpy at stride 1), and zeros go only to
+// the pad-clipped fringe — instead of a per-element bounds branch over the
+// whole buffer. Output is bit-identical to the branchy form; the gradcheck
+// conv suites cover it.
 void im2col(const float* img, float* cols, std::int64_t c, std::int64_t h, std::int64_t w,
             std::int64_t kh, std::int64_t kw, std::int64_t stride, std::int64_t pad,
             std::int64_t oh, std::int64_t ow) {
@@ -26,18 +41,30 @@ void im2col(const float* img, float* cols, std::int64_t c, std::int64_t h, std::
     for (std::int64_t ky = 0; ky < kh; ++ky)
       for (std::int64_t kx = 0; kx < kw; ++kx, ++row) {
         float* dst = cols + row * spatial;
-        for (std::int64_t y = 0; y < oh; ++y) {
+        // iy = y*stride - pad + ky lies in [0, h) exactly for y in [y_lo, y_hi).
+        const std::int64_t y_lo = std::clamp<std::int64_t>(div_ceil(pad - ky, stride), 0, oh);
+        const std::int64_t y_hi =
+            std::clamp<std::int64_t>(div_floor(h - 1 + pad - ky, stride) + 1, y_lo, oh);
+        const std::int64_t x_lo = std::clamp<std::int64_t>(div_ceil(pad - kx, stride), 0, ow);
+        const std::int64_t x_hi =
+            std::clamp<std::int64_t>(div_floor(w - 1 + pad - kx, stride) + 1, x_lo, ow);
+        std::fill(dst, dst + y_lo * ow, 0.0f);
+        for (std::int64_t y = y_lo; y < y_hi; ++y) {
           const std::int64_t iy = y * stride - pad + ky;
-          if (iy < 0 || iy >= h) {
-            for (std::int64_t x = 0; x < ow; ++x) dst[y * ow + x] = 0.0f;
-            continue;
-          }
           const float* src = img + (ci * h + iy) * w;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * stride - pad + kx;
-            dst[y * ow + x] = (ix < 0 || ix >= w) ? 0.0f : src[ix];
+          float* drow = dst + y * ow;
+          std::fill(drow, drow + x_lo, 0.0f);
+          if (x_lo < x_hi) {  // guarded: an empty window must not form the pointer
+            const float* s = src + (x_lo * stride - pad + kx);
+            if (stride == 1) {
+              std::copy(s, s + (x_hi - x_lo), drow + x_lo);
+            } else {
+              for (std::int64_t x = x_lo; x < x_hi; ++x, s += stride) drow[x] = *s;
+            }
           }
+          std::fill(drow + x_hi, drow + ow, 0.0f);
         }
+        std::fill(dst + y_hi * ow, dst + oh * ow, 0.0f);
       }
 }
 
@@ -65,6 +92,7 @@ void col2im(const float* cols, float* img, std::int64_t c, std::int64_t h, std::
 
 using detail::finite_cache;
 using detail::gemm_accumulate;
+using detail::gemm_accumulate_bt;
 
 // Below this per-batch flop count the pool submit overhead beats the split.
 constexpr std::int64_t k_conv_parallel_flops = 1 << 15;
@@ -94,14 +122,18 @@ tensor conv2d(const tensor& input, const tensor& weight, const tensor& bias, std
   const float* wt = weight.data().data();
   float* op = out.data().data();
   const auto batch_range = [&](std::int64_t lo, std::int64_t hi) {
-    std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
+    // Chunk-local workspace from the executing thread's arena; im2col
+    // rewrites it fully per image, so no zeroing is needed.
+    scratch_buffer cols = scratch_arena::local().take(static_cast<std::size_t>(krows * spatial));
     for (std::int64_t n = lo; n < hi; ++n) {
       im2col(in + n * c * h * w, cols.data(), c, h, w, kh, kw, stride, pad, oh, ow);
       float* obase = op + n * oc * spatial;
       if (has_bias)
         for (std::int64_t o = 0; o < oc; ++o)
           for (std::int64_t s = 0; s < spatial; ++s) obase[o * spatial + s] = bias[o];
-      finite_cache cols_finite;  // per image; unused while weights stay dense
+      // Per image; the kernel scans cols only if the (normally dense)
+      // weight matrix contains zeros.
+      finite_cache cols_finite;
       gemm_accumulate(wt, cols.data(), obase, oc, krows, spatial, cols_finite);
     }
   };
@@ -123,25 +155,33 @@ tensor conv2d_backward_input(const tensor& grad_out, const tensor& weight, std::
   // cols_grad [C*KH*KW, OH*OW] = Wᵀ [C*KH*KW, OC] x grad_out [OC, OH*OW];
   // then col2im scatters back into the image.
   const std::int64_t krows = c * kh * kw, spatial = oh * ow;
-  // Transposed weight view, materialized once.
-  std::vector<float> wt_t(static_cast<std::size_t>(krows * oc));
+  // Transposed weight view, materialized once on the submitting thread's
+  // arena. Pool chunks only READ it (the pool's submit/join orders the
+  // writes before them); each chunk takes its own cols workspace from its
+  // own thread's arena.
+  scratch_buffer wt_t_buf =
+      scratch_arena::local().take(static_cast<std::size_t>(krows * oc));
+  float* wt_t = wt_t_buf.data();
   {
     const float* wt = weight.data().data();
     for (std::int64_t o = 0; o < oc; ++o)
-      for (std::int64_t r = 0; r < krows; ++r)
-        wt_t[static_cast<std::size_t>(r * oc + o)] = wt[o * krows + r];
+      for (std::int64_t r = 0; r < krows; ++r) wt_t[r * oc + o] = wt[o * krows + r];
   }
   tensor grad_in{input_shape};
   const float* go = grad_out.data().data();
   float* gi = grad_in.data().data();
   // Per-image gradients are disjoint: split the batch, one cols per chunk.
   const auto batch_range = [&](std::int64_t lo, std::int64_t hi) {
-    std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
+    scratch_buffer cols = scratch_arena::local().take(static_cast<std::size_t>(krows * spatial));
     for (std::int64_t n = lo; n < hi; ++n) {
-      std::fill(cols.begin(), cols.end(), 0.0f);
+      // The GEMM accumulates into cols, so it needs a zero base every image
+      // (arena memory is reused, not fresh).
+      std::fill(cols.data(), cols.data() + krows * spatial, 0.0f);
       const float* gslice = go + n * oc * spatial;
-      finite_cache grad_finite;  // per image; unused while weights stay dense
-      gemm_accumulate(wt_t.data(), gslice, cols.data(), krows, oc, spatial, grad_finite);
+      // Per image; the kernel scans the gradient slice only if the
+      // (normally dense) transposed weight matrix contains zeros.
+      finite_cache grad_finite;
+      gemm_accumulate(wt_t, gslice, cols.data(), krows, oc, spatial, grad_finite);
       col2im(cols.data(), gi + n * c * h * w, c, h, w, kh, kw, stride, pad, oh, ow);
     }
   };
@@ -161,9 +201,11 @@ tensor conv2d_backward_weight(const tensor& grad_out, const tensor& input, std::
   PELTA_CHECK(weight_shape[1] == c && grad_out.size(1) == oc);
 
   // grad_W [OC, C*KH*KW] += grad_out [OC, OH*OW] x colsᵀ [OH*OW, C*KH*KW].
+  // cols itself is exactly the transposed-B layout ([krows, spatial] row-
+  // major = [spatial, krows]ᵀ), so the bt kernel consumes it directly — the
+  // old per-image cols→colsᵀ scatter-transpose is gone.
   const std::int64_t krows = c * kh * kw, spatial = oh * ow;
-  std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
-  std::vector<float> cols_t(static_cast<std::size_t>(spatial * krows));
+  scratch_buffer cols = scratch_arena::local().take(static_cast<std::size_t>(krows * spatial));
   tensor grad_w{weight_shape};
   const float* go = grad_out.data().data();
   const float* in = input.data().data();
@@ -173,12 +215,9 @@ tensor conv2d_backward_weight(const tensor& grad_out, const tensor& input, std::
   // count — breaking the bit-identical-across-PELTA_THREADS guarantee.
   for (std::int64_t n = 0; n < b; ++n) {
     im2col(in + n * c * h * w, cols.data(), c, h, w, kh, kw, stride, pad, oh, ow);
-    for (std::int64_t r = 0; r < krows; ++r)
-      for (std::int64_t s = 0; s < spatial; ++s)
-        cols_t[static_cast<std::size_t>(s * krows + r)] =
-            cols[static_cast<std::size_t>(r * spatial + s)];
-    finite_cache cols_finite;  // per image; consulted only if grad_out has zeros
-    gemm_accumulate(go + n * oc * spatial, cols_t.data(), gw, oc, spatial, krows, cols_finite);
+    // Per image (each has its own cols); scanned only if grad_out has zeros.
+    finite_cache cols_finite;
+    gemm_accumulate_bt(go + n * oc * spatial, cols.data(), gw, oc, spatial, krows, cols_finite);
   }
   return grad_w;
 }

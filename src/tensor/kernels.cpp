@@ -1,0 +1,245 @@
+// Blocked GEMM micro-kernels. See kernels.h for the determinism contract.
+//
+// Structure (shared by the plain and transposed-B entry points):
+//   * k-blocking: the k range is walked in KC-sized blocks, ascending, so a
+//     B column panel stays hot in cache while every row tile reuses it.
+//     Partial sums round-trip through `out` between blocks — a float
+//     store/load, value-exact — and per-element k-order is unchanged.
+//   * Register tiles: MR x W accumulator blocks live across the whole
+//     k-loop of a block, so no partial sum touches memory inside it and
+//     each B row load is reused across MR output rows. The fixed-trip
+//     inner loops auto-vectorize; every path spells the accumulation as the
+//     same `acc += a * b` / masked-select expression, which keeps full
+//     tiles, tails, and any parallel row split bit-identical.
+//   * Zero-skip gate: decided ONCE per call from the operand's finiteness
+//     (kernels.h). Inside a tile the common all-rows-nonzero k-step takes a
+//     branch-free FMA path; a k-step where some row of A is zero falls back
+//     to a masked select `av != 0 ? acc + av*b : acc` — bit-exact with the
+//     classic per-element skip, without a branch in the inner loop.
+//   * Column tails (n % 16) never run narrow scalar loops: the tail columns
+//     are packed into a zero-padded 16-wide panel from the thread's scratch
+//     arena and full-width tiles run over it, storing only the real
+//     columns. Pad lanes cost nothing semantically (they are never stored)
+//     and the real columns see the identical operation sequence.
+//   * Transposed-B: B arrives as [n, k] row-major. Each (KC x 16) panel is
+//     repacked into an L1-resident buffer (blocked transpose, sequential
+//     reads), then the same register tiles run over it. The pack touches
+//     each B element once per sweep and is reused by every row tile —
+//     unlike the old cols_t path, which materialized the full [k, n]
+//     transpose per image with strided writes.
+#include "tensor/kernels.h"
+
+#include <algorithm>
+
+#include "tensor/scratch.h"
+
+namespace pelta::ops::detail {
+
+namespace {
+
+constexpr std::int64_t MR = k_gemm_mr;    // 4  — rows per register tile
+constexpr std::int64_t WMID = k_gemm_nr;  // 16 — packed/mid tile width
+constexpr std::int64_t WMAIN = 4 * WMID;  // 64 — main tile width
+constexpr std::int64_t KC = 1024;         // k-block: B panel KC*WMAIN = 256 KB
+
+// One ROWS x W register tile over k-block rows [0, kc) of B.
+//   a:   ROWS rows, stride lda, k-offset already applied
+//   b:   kc rows, stride ldb (ldb == n on B itself, WMID on a packed panel)
+//   out: ROWS rows, stride ldo; JSTORE columns are written back (JSTORE < W
+//        only for the zero-padded edge panel, whose pad lanes are compute-
+//        only and never touch memory)
+template <int ROWS, std::int64_t W, bool Skip, std::int64_t JSTORE = W>
+inline void gemm_tile(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                      float* out, std::int64_t ldo, std::int64_t kc) {
+  static_assert(JSTORE <= W);
+  float acc[ROWS][W];
+  for (int r = 0; r < ROWS; ++r) {
+    for (std::int64_t j = 0; j < JSTORE; ++j) acc[r][j] = out[r * ldo + j];
+    for (std::int64_t j = JSTORE; j < W; ++j) acc[r][j] = 0.0f;  // pad lanes
+  }
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* brow = b + kk * ldb;
+    float av[ROWS];
+    bool any_zero = false;
+    for (int r = 0; r < ROWS; ++r) {
+      av[r] = a[r * lda + kk];
+      any_zero |= (av[r] == 0.0f);
+    }
+    // The W == WMID instantiations carry a "GCC unroll 1" pragma: GCC
+    // completely unrolls a bare 16-trip loop into scalar straight-line code
+    // that SLP fails to re-vectorize (observed 15x slowdown); kept
+    // loop-shaped, the loop vectorizer collapses it into full-width vector
+    // ops. The wide instantiations vectorize best as plain loops, so the
+    // two forms are split on W — the expressions are identical.
+    if (!Skip || !any_zero) {
+      // Common case: no zero anywhere in the tile's A column — one
+      // predictable branch guards a pure FMA block.
+      if constexpr (W == WMID) {
+        for (int r = 0; r < ROWS; ++r)
+#pragma GCC unroll 1
+          for (std::int64_t j = 0; j < W; ++j) acc[r][j] = fmadd(av[r], brow[j], acc[r][j]);
+      } else {
+        for (int r = 0; r < ROWS; ++r)
+          for (std::int64_t j = 0; j < W; ++j) acc[r][j] = fmadd(av[r], brow[j], acc[r][j]);
+      }
+    } else {
+      // Some row skips: masked select, bit-exact with skipping the update.
+      if constexpr (W == WMID) {
+        for (int r = 0; r < ROWS; ++r)
+#pragma GCC unroll 1
+          for (std::int64_t j = 0; j < W; ++j)
+            acc[r][j] = av[r] != 0.0f ? fmadd(av[r], brow[j], acc[r][j]) : acc[r][j];
+      } else {
+        for (int r = 0; r < ROWS; ++r)
+          for (std::int64_t j = 0; j < W; ++j)
+            acc[r][j] = av[r] != 0.0f ? fmadd(av[r], brow[j], acc[r][j]) : acc[r][j];
+      }
+    }
+  }
+  for (int r = 0; r < ROWS; ++r)
+    for (std::int64_t j = 0; j < JSTORE; ++j) out[r * ldo + j] = acc[r][j];
+}
+
+// All row tiles of one column panel: MR blocks, then the 3/2/1 remainder
+// through the same template body at smaller ROWS. JSTORE as in gemm_tile.
+template <std::int64_t W, bool Skip, std::int64_t JSTORE = W>
+inline void panel_rows(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                       float* out, std::int64_t ldo, std::int64_t kc, std::int64_t m) {
+  std::int64_t i = 0;
+  for (; i + MR <= m; i += MR)
+    gemm_tile<MR, W, Skip, JSTORE>(a + i * lda, lda, b, ldb, out + i * ldo, ldo, kc);
+  switch (m - i) {
+    case 3: gemm_tile<3, W, Skip, JSTORE>(a + i * lda, lda, b, ldb, out + i * ldo, ldo, kc); break;
+    case 2: gemm_tile<2, W, Skip, JSTORE>(a + i * lda, lda, b, ldb, out + i * ldo, ldo, kc); break;
+    case 1: gemm_tile<1, W, Skip, JSTORE>(a + i * lda, lda, b, ldb, out + i * ldo, ldo, kc); break;
+    default: break;
+  }
+}
+
+// Edge panel: the last n % 16 columns, zero-padded to a full 16-wide packed
+// panel (row stride ldb) so the tile loops stay fixed-trip. Dispatch on the
+// store width.
+template <bool Skip>
+void panel_rows_edge(const float* a, std::int64_t lda, const float* panel, std::int64_t ldb,
+                     float* out, std::int64_t ldo, std::int64_t kc, std::int64_t m,
+                     std::int64_t jn) {
+  switch (jn) {
+    case 1: panel_rows<WMID, Skip, 1>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 2: panel_rows<WMID, Skip, 2>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 3: panel_rows<WMID, Skip, 3>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 4: panel_rows<WMID, Skip, 4>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 5: panel_rows<WMID, Skip, 5>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 6: panel_rows<WMID, Skip, 6>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 7: panel_rows<WMID, Skip, 7>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 8: panel_rows<WMID, Skip, 8>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 9: panel_rows<WMID, Skip, 9>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 10: panel_rows<WMID, Skip, 10>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 11: panel_rows<WMID, Skip, 11>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 12: panel_rows<WMID, Skip, 12>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 13: panel_rows<WMID, Skip, 13>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 14: panel_rows<WMID, Skip, 14>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    case 15: panel_rows<WMID, Skip, 15>(a, lda, panel, ldb, out, ldo, kc, m); break;
+    default: break;
+  }
+}
+
+template <bool Skip>
+void gemm_blocked(const float* a, const float* b, float* out, std::int64_t m, std::int64_t k,
+                  std::int64_t n) {
+  const std::int64_t jn_edge = n % WMID;
+  scratch_buffer panel_buf;
+  if (jn_edge != 0)
+    panel_buf = scratch_arena::local().take(static_cast<std::size_t>(KC * WMID));
+  for (std::int64_t k0 = 0; k0 < k; k0 += KC) {
+    const std::int64_t kc = std::min(KC, k - k0);
+    const float* ablk = a + k0;
+    const float* bblk = b + k0 * n;
+    std::int64_t j = 0;
+    for (; j + WMAIN <= n; j += WMAIN)
+      panel_rows<WMAIN, Skip>(ablk, k, bblk + j, n, out + j, n, kc, m);
+    for (; j + WMID <= n; j += WMID)
+      panel_rows<WMID, Skip>(ablk, k, bblk + j, n, out + j, n, kc, m);
+    if (j < n) {
+      // Pack the ragged edge columns, zero-padded to WMID.
+      float* panel = panel_buf.data();
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* src = bblk + kk * n + j;
+        float* dst = panel + kk * WMID;
+        for (std::int64_t jj = 0; jj < jn_edge; ++jj) dst[jj] = src[jj];
+        for (std::int64_t jj = jn_edge; jj < WMID; ++jj) dst[jj] = 0.0f;
+      }
+      panel_rows_edge<Skip>(ablk, k, panel, WMID, out + j, n, kc, m, jn_edge);
+    }
+  }
+}
+
+template <bool Skip>
+void gemm_bt_blocked(const float* a, const float* bt, float* out, std::int64_t m, std::int64_t k,
+                     std::int64_t n) {
+  // Cache-resident pack buffer for one (kc x WMAIN) B panel, reused across
+  // the whole call — and across calls, via the thread's arena.
+  scratch_buffer panel_buf = scratch_arena::local().take(static_cast<std::size_t>(KC * WMAIN));
+  float* panel = panel_buf.data();
+  for (std::int64_t k0 = 0; k0 < k; k0 += KC) {
+    const std::int64_t kc = std::min(KC, k - k0);
+    const float* ablk = a + k0;
+    for (std::int64_t j = 0; j < n; j += WMAIN) {
+      const std::int64_t jw = std::min(WMAIN, n - j);
+      // Blocked transpose of B rows [j, j+jw) x k-range [k0, k0+kc): reads
+      // are sequential along each B row; the ragged tail of the last
+      // 16-wide lane group is zero-padded.
+      const std::int64_t jw_pad = (jw + WMID - 1) / WMID * WMID;
+      for (std::int64_t jj = 0; jj < jw; ++jj) {
+        const float* src = bt + (j + jj) * k + k0;
+        for (std::int64_t kk = 0; kk < kc; ++kk) panel[kk * WMAIN + jj] = src[kk];
+      }
+      if (jw < jw_pad)
+        for (std::int64_t kk = 0; kk < kc; ++kk)
+          for (std::int64_t jj = jw; jj < jw_pad; ++jj) panel[kk * WMAIN + jj] = 0.0f;
+      // Full-width tiles over the packed panel (ldb = WMAIN), then 16-wide
+      // lane groups, then the store-masked edge.
+      if (jw == WMAIN) {
+        panel_rows<WMAIN, Skip>(ablk, k, panel, WMAIN, out + j, n, kc, m);
+      } else {
+        std::int64_t js = 0;
+        for (; js + WMID <= jw; js += WMID)
+          panel_rows<WMID, Skip>(ablk, k, panel + js, WMAIN, out + j + js, n, kc, m);
+        if (js < jw)
+          panel_rows_edge<Skip>(ablk, k, panel + js, WMAIN, out + j + js, n, kc, m, jw - js);
+      }
+    }
+  }
+}
+
+bool any_zero_in(const float* p, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i)
+    if (p[i] == 0.0f) return true;
+  return false;
+}
+
+}  // namespace
+
+void gemm_accumulate(const float* a, const float* b, float* out, std::int64_t m, std::int64_t k,
+                     std::int64_t n, finite_cache& b_finite) {
+  if (m <= 0 || n <= 0 || k <= 0) return;  // no terms: out is the base, untouched
+  // Gate decided once per call, never inside the loops. A is pre-scanned
+  // first (O(m*k), a 1/(2n) fraction of the GEMM): a dense A has nothing to
+  // skip, so — exactly like the old lazy gate — it neither consults nor
+  // scans B, and it runs the branch-free dense path outright. Only a call
+  // whose A contains zeros pays the (cached, once-per-operand) B scan.
+  if (any_zero_in(a, m * k) && b_finite.check(b, k * n))
+    gemm_blocked<true>(a, b, out, m, k, n);
+  else
+    gemm_blocked<false>(a, b, out, m, k, n);
+}
+
+void gemm_accumulate_bt(const float* a, const float* bt, float* out, std::int64_t m,
+                        std::int64_t k, std::int64_t n, finite_cache& bt_finite) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (any_zero_in(a, m * k) && bt_finite.check(bt, n * k))
+    gemm_bt_blocked<true>(a, bt, out, m, k, n);
+  else
+    gemm_bt_blocked<false>(a, bt, out, m, k, n);
+}
+
+}  // namespace pelta::ops::detail

@@ -1,5 +1,13 @@
 // Shared dense inner kernels for the tensor backends (ops.cpp, conv.cpp).
 // Internal to src/tensor — not part of the public surface.
+//
+// Determinism contract (see README "Tensor backend"): for every output
+// element the k-accumulation order is ascending and expressed by the same
+// source-level `acc += a * b` sequence on every code path (full register
+// tiles, row tails, column tails). A row's bits therefore never depend on
+// which tile or parallel chunk it landed in, which is what lets matmul and
+// the conv batch loops split work across PELTA_THREADS without changing a
+// single bit of the result.
 #pragma once
 
 #include <atomic>
@@ -8,6 +16,29 @@
 
 namespace pelta::ops::detail {
 
+/// Register-tile extents of the blocked GEMM in kernels.cpp. Callers that
+/// split rows across threads should round their chunk grain up to
+/// k_gemm_mr so mid-matrix chunks keep full row tiles (values are
+/// grain-independent either way; this is purely a throughput concern).
+inline constexpr std::int64_t k_gemm_mr = 4;   // rows per register tile
+inline constexpr std::int64_t k_gemm_nr = 16;  // columns per register tile
+
+/// Single-rounding fused multiply-add where the ISA has it, separate
+/// mul+add where it does not — fixed at compile time. Every kernel path
+/// (full tiles, tails, packed edges) and the frozen reference kernels in
+/// tests/bench accumulate through this helper, so each output element sees
+/// the identical rounding sequence no matter which instantiation computed
+/// it. Without this, -ffp-contract is free to fuse some paths and not
+/// others, silently breaking bit-identity between tile shapes (and with it
+/// the across-PELTA_THREADS guarantee) on FMA targets.
+inline float fmadd(float a, float b, float c) {
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
+  return std::fma(a, b, c);
+#else
+  return a * b + c;  // no FMA on this target: contraction cannot diverge
+#endif
+}
+
 inline bool all_finite(const float* p, std::int64_t count) {
   for (std::int64_t i = 0; i < count; ++i)
     if (!std::isfinite(p[i])) return false;
@@ -15,10 +46,9 @@ inline bool all_finite(const float* p, std::int64_t count) {
 }
 
 /// Lazily computed finiteness of one B operand: -1 unknown, 0 has
-/// non-finite values, 1 all finite. Dense A operands never trigger the
-/// scan; chunks of one parallel split share the cache so B is scanned at
-/// most once per operand (the duplicated-scan race is benign — both
-/// writers store the same value).
+/// non-finite values, 1 all finite. Chunks of one parallel split share the
+/// cache so B is scanned at most once per operand (the duplicated-scan race
+/// is benign — both writers store the same value).
 class finite_cache {
 public:
   bool check(const float* b, std::int64_t count) {
@@ -34,23 +64,26 @@ private:
   std::atomic<int> state_{-1};
 };
 
-// Cache-friendly i-k-j matmul: out[m,n] += a[m,k] * b[k,n]; out must hold
-// the accumulation base (zeros or bias). The zero-skip fast path is only
-// sound when B is fully finite: 0 * Inf and 0 * NaN are NaN, and a poisoned
-// update must surface, not vanish through a zero-weight row — hence the
-// lazy finiteness gate, consulted only when a zero actually appears in A.
-inline void gemm_accumulate(const float* a, const float* b, float* out, std::int64_t m,
-                            std::int64_t k, std::int64_t n, finite_cache& b_finite) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f && b_finite.check(b, k * n)) continue;
-      const float* brow = b + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
+// Blocked GEMM: out[m,n] += a[m,k] * b[k,n]; out must hold the accumulation
+// base (zeros or bias). Per output element the k-order matches the classic
+// i-k-j loop bit for bit. The zero-skip fast path is only sound when B is
+// fully finite: 0 * Inf and 0 * NaN are NaN, and a poisoned update must
+// surface, not vanish through a zero-weight row — the gate is decided ONCE
+// per call, never inside the inner loops: A is pre-scanned for zeros
+// (dense A neither consults nor scans B, as before), and only a zero-
+// bearing A pays the B scan, cached in `b_finite` across calls on the same
+// operand.
+void gemm_accumulate(const float* a, const float* b, float* out, std::int64_t m, std::int64_t k,
+                     std::int64_t n, finite_cache& b_finite);
+
+// Transposed-B variant: out[m,n] += a[m,k] * bt[n,k]ᵀ, i.e. B is stored
+// row-major as [n,k] and B[kk][j] = bt[j*k + kk]. Bit-identical to
+// materializing the [k,n] transpose and calling gemm_accumulate — same
+// ascending k-order per element, same zero-skip gate (decided from bt's
+// finiteness) — but instead of a full [k,n] transpose per call it repacks
+// one L1-resident (KC x 16) panel at a time from the thread's scratch
+// arena, so conv2d_backward_weight no longer materializes cols_t.
+void gemm_accumulate_bt(const float* a, const float* bt, float* out, std::int64_t m,
+                        std::int64_t k, std::int64_t n, finite_cache& bt_finite);
 
 }  // namespace pelta::ops::detail

@@ -10,22 +10,45 @@ namespace pelta::ops {
 
 namespace {
 
-tensor zip(const tensor& a, const tensor& b, const char* what, float (*f)(float, float)) {
+// Elementwise loops split across the pool only above this many elements per
+// chunk; below it the whole tensor runs inline on the calling thread with no
+// pool (or std::function) overhead. Each output element depends on its own
+// inputs only, so the split is bit-identical for every PELTA_THREADS value.
+constexpr std::int64_t k_elementwise_grain = 1 << 15;
+
+template <class F>
+void elementwise_dispatch(std::int64_t n, const F& chunk) {
+  if (n > k_elementwise_grain)
+    parallel_for_range(n, k_elementwise_grain,
+                       [&](std::int64_t lo, std::int64_t hi) { chunk(lo, hi); });
+  else
+    chunk(0, n);
+}
+
+// F is a template parameter (not a function pointer) so the compiler can
+// inline the op into the vectorized loop body.
+template <class F>
+tensor zip(const tensor& a, const tensor& b, const char* what, const F& f) {
   PELTA_CHECK_MSG(a.same_shape(b), what << " shape mismatch " << to_string(a.shape()) << " vs "
                                         << to_string(b.shape()));
   tensor out{a.shape()};
-  auto pa = a.data();
-  auto pb = b.data();
-  auto po = out.data();
-  for (std::size_t i = 0; i < po.size(); ++i) po[i] = f(pa[i], pb[i]);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  elementwise_dispatch(out.numel(), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+  });
   return out;
 }
 
-tensor unary(const tensor& a, float (*f)(float)) {
+template <class F>
+tensor unary(const tensor& a, const F& f) {
   tensor out{a.shape()};
-  auto pa = a.data();
-  auto po = out.data();
-  for (std::size_t i = 0; i < po.size(); ++i) po[i] = f(pa[i]);
+  const float* pa = a.data().data();
+  float* po = out.data().data();
+  elementwise_dispatch(out.numel(), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+  });
   return out;
 }
 
@@ -45,15 +68,11 @@ tensor div(const tensor& a, const tensor& b) {
 }
 
 tensor add_scalar(const tensor& a, float s) {
-  tensor out = a;
-  for (float& x : out.data()) x += s;
-  return out;
+  return unary(a, [s](float x) { return x + s; });
 }
 
 tensor mul_scalar(const tensor& a, float s) {
-  tensor out = a;
-  for (float& x : out.data()) x *= s;
-  return out;
+  return unary(a, [s](float x) { return x * s; });
 }
 
 tensor neg(const tensor& a) {
@@ -88,11 +107,7 @@ tensor clamp(const tensor& a, float lo, float hi) {
 }
 
 tensor map(const tensor& a, const std::function<float(float)>& f) {
-  tensor out{a.shape()};
-  auto pa = a.data();
-  auto po = out.data();
-  for (std::size_t i = 0; i < po.size(); ++i) po[i] = f(pa[i]);
-  return out;
+  return unary(a, f);
 }
 
 float sum(const tensor& a) {
@@ -183,7 +198,14 @@ tensor matmul(const tensor& a, const tensor& b) {
   detail::finite_cache b_finite;  // shared across chunks: B scanned at most once
   if (m >= 2 && m * k * n >= k_parallel_flops) {
     // Output rows are disjoint, so the split is bit-identical to serial.
-    parallel_for_range(m, 0, [&](std::int64_t lo, std::int64_t hi) {
+    // The grain rounds up to the register-tile height so mid-matrix chunks
+    // keep full row tiles (a throughput concern only — element values are
+    // independent of the chunk partitioning).
+    constexpr std::int64_t mr = detail::k_gemm_mr;
+    std::int64_t grain =
+        std::max<std::int64_t>(1, m / (8 * static_cast<std::int64_t>(parallel_thread_count())));
+    grain = (grain + mr - 1) / mr * mr;
+    parallel_for_range(m, grain, [&](std::int64_t lo, std::int64_t hi) {
       gemm_accumulate(pa + lo * k, pb, po + lo * n, hi - lo, k, n, b_finite);
     });
   } else {

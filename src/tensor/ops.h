@@ -35,6 +35,9 @@ tensor abs(const tensor& a);
 tensor sign(const tensor& a);
 tensor clamp(const tensor& a, float lo, float hi);
 /// Apply an arbitrary float->float map (used by tests and data generation).
+/// Like every elementwise op, large tensors split across the thread pool:
+/// `f` must be pure (no internal state, safe to call concurrently and in
+/// any element order).
 tensor map(const tensor& a, const std::function<float(float)>& f);
 
 // ---- reductions ---------------------------------------------------------------

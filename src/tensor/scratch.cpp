@@ -1,0 +1,126 @@
+#include "tensor/scratch.h"
+
+#include <algorithm>
+#include <new>
+
+#include "tensor/check.h"
+
+namespace pelta {
+
+namespace {
+
+constexpr std::size_t k_alignment = 64;  // one cache line; covers any SIMD width
+constexpr std::size_t k_min_block_floats = 1024;
+
+float* allocate_floats(std::size_t count) {
+  return static_cast<float*>(
+      ::operator new(count * sizeof(float), std::align_val_t{k_alignment}));
+}
+
+void free_floats(float* p) {
+  if (p != nullptr) ::operator delete(p, std::align_val_t{k_alignment});
+}
+
+/// Round a checkout up so every claim starts 64-byte aligned.
+std::size_t align_floats(std::size_t count) {
+  constexpr std::size_t unit = k_alignment / sizeof(float);
+  return (count + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+scratch_buffer::scratch_buffer(scratch_buffer&& other) noexcept
+    : arena_{other.arena_},
+      data_{other.data_},
+      count_{other.count_},
+      block_{other.block_},
+      prev_used_{other.prev_used_} {
+  other.arena_ = nullptr;
+  other.data_ = nullptr;
+  other.count_ = 0;
+}
+
+scratch_buffer& scratch_buffer::operator=(scratch_buffer&& other) noexcept {
+  if (this != &other) {
+    if (arena_ != nullptr) arena_->release(*this);
+    arena_ = other.arena_;
+    data_ = other.data_;
+    count_ = other.count_;
+    block_ = other.block_;
+    prev_used_ = other.prev_used_;
+    other.arena_ = nullptr;
+    other.data_ = nullptr;
+    other.count_ = 0;
+  }
+  return *this;
+}
+
+scratch_buffer::~scratch_buffer() {
+  if (arena_ != nullptr) arena_->release(*this);
+}
+
+scratch_arena& scratch_arena::local() {
+  static thread_local scratch_arena arena;
+  return arena;
+}
+
+scratch_arena::scratch_arena() = default;
+
+scratch_arena::~scratch_arena() {
+  for (block& b : blocks_) free_floats(b.data);
+}
+
+std::size_t scratch_arena::capacity_floats() const {
+  std::size_t total = 0;
+  for (const block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+scratch_buffer scratch_arena::take(std::size_t count) {
+  if (count == 0) return scratch_buffer{};
+  const std::size_t claim = align_floats(count);
+  if (blocks_.empty() || blocks_.back().used + claim > blocks_.back().capacity) {
+    // Open a fresh block; existing blocks keep their live claims in place.
+    // Doubling the total keeps growth logarithmic until the high-water mark
+    // of the call pattern is reached, after which consolidation (below)
+    // makes this branch unreachable.
+    const std::size_t cap =
+        std::max({claim, 2 * capacity_floats(), k_min_block_floats});
+    blocks_.push_back(block{allocate_floats(cap), cap, 0});
+    ++block_allocations_;
+  }
+  block& b = blocks_.back();
+  float* p = b.data + b.used;
+  const std::size_t prev_used = b.used;
+  b.used += claim;
+  used_total_ += claim;
+  high_water_ = std::max(high_water_, used_total_);
+  ++outstanding_;
+  return scratch_buffer{this, p, count, blocks_.size() - 1, prev_used};
+}
+
+void scratch_arena::release(const scratch_buffer& buf) {
+  PELTA_CHECK_MSG(outstanding_ > 0 && buf.block_ < blocks_.size(),
+                  "scratch_buffer released into a foreign arena state");
+  // Strict LIFO: every block newer than the claim's is already empty and
+  // the claim sits at the top of its own block.
+  for (std::size_t i = buf.block_ + 1; i < blocks_.size(); ++i)
+    PELTA_CHECK_MSG(blocks_[i].used == 0, "scratch_buffer released out of LIFO order");
+  block& b = blocks_[buf.block_];
+  PELTA_CHECK_MSG(b.used == buf.prev_used_ + align_floats(buf.count_),
+                  "scratch_buffer released out of LIFO order");
+  used_total_ -= b.used - buf.prev_used_;
+  b.used = buf.prev_used_;
+  --outstanding_;
+  // Idle and fragmented: collapse to one block covering the high-water
+  // pattern so the next call sequence runs allocation-free.
+  if (outstanding_ == 0 && blocks_.size() > 1) {
+    for (block& old : blocks_) free_floats(old.data);
+    blocks_.clear();
+    const std::size_t cap = std::max(align_floats(high_water_), k_min_block_floats);
+    blocks_.push_back(block{allocate_floats(cap), cap, 0});
+    ++block_allocations_;
+  }
+}
+
+}  // namespace pelta

@@ -1,0 +1,115 @@
+// Thread-local scratch arena for kernel workspace buffers.
+//
+// The conv2d im2col paths (and any other kernel needing a temporary matrix)
+// used to heap-allocate a fresh std::vector<float> per call — with the
+// thread-pool runtime multiplying how often those kernels run, allocation
+// became a steady-state cost on every forward/backward. The arena replaces
+// that with a bump allocator: checkouts are LIFO (RAII `scratch_buffer`
+// hands the space back in destruction order), capacity grows to the
+// high-water mark of one call pattern and is then reused forever, so steady
+// state performs ZERO allocations (verified by tests via the
+// block_allocations() counter).
+//
+// Lifetime rules:
+//   * One arena per thread (pool workers included), reached via
+//     scratch_arena::local(). Never share a scratch_buffer across threads:
+//     check out from the thread that uses the memory. A buffer checked out
+//     *before* a parallel_for may be READ by pool chunks (the pool's
+//     submit/join provides the happens-before), but chunks take their own
+//     working buffers from their own thread's arena.
+//   * Checkouts are strictly LIFO. Interleaving releases is a programming
+//     error: the arena raises PELTA_CHECK on it (from a destructor, that
+//     terminates — an allocator invariant breach must never limp on).
+//   * take() returns UNINITIALIZED memory (steady state hands back a
+//     previously used block). Callers that need zeros must fill — exactly
+//     like the fresh std::vector they replaced, minus the allocation.
+//   * TSan-clean by construction: no arena state is shared between threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pelta {
+
+class scratch_arena;
+
+/// RAII checkout of `count` floats from a scratch_arena. Movable (the moved
+/// -from buffer forgets its claim), not copyable. Destruction returns the
+/// space to the arena; destructions must happen in reverse checkout order.
+class scratch_buffer {
+public:
+  scratch_buffer() = default;
+  scratch_buffer(scratch_buffer&& other) noexcept;
+  scratch_buffer& operator=(scratch_buffer&& other) noexcept;
+  scratch_buffer(const scratch_buffer&) = delete;
+  scratch_buffer& operator=(const scratch_buffer&) = delete;
+  ~scratch_buffer();
+
+  float* data() const { return data_; }
+  std::size_t size() const { return count_; }
+  std::span<float> span() const { return {data_, count_}; }
+
+private:
+  friend class scratch_arena;
+  scratch_buffer(scratch_arena* arena, float* data, std::size_t count, std::size_t block,
+                 std::size_t prev_used)
+      : arena_{arena}, data_{data}, count_{count}, block_{block}, prev_used_{prev_used} {}
+
+  scratch_arena* arena_ = nullptr;
+  float* data_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t block_ = 0;      // index of the block the claim lives in
+  std::size_t prev_used_ = 0;  // that block's bump offset before the claim
+};
+
+class scratch_arena {
+public:
+  /// The calling thread's arena (one per thread, created on first use).
+  static scratch_arena& local();
+
+  scratch_arena();
+  ~scratch_arena();
+  scratch_arena(const scratch_arena&) = delete;
+  scratch_arena& operator=(const scratch_arena&) = delete;
+
+  /// Check out `count` floats (64-byte aligned, UNINITIALIZED). count == 0
+  /// yields an empty buffer without touching the arena.
+  scratch_buffer take(std::size_t count);
+
+  /// Total backing-store allocations ever made by this arena. Stops
+  /// increasing once capacity has reached the caller's high-water pattern —
+  /// the steady-state-zero-allocation property tests assert on.
+  std::size_t block_allocations() const { return block_allocations_; }
+
+  /// Largest number of floats ever simultaneously checked out.
+  std::size_t high_water_floats() const { return high_water_; }
+
+  /// Currently outstanding checkouts (0 between kernel calls).
+  std::size_t outstanding() const { return outstanding_; }
+
+  /// Current backing capacity in floats (all blocks).
+  std::size_t capacity_floats() const;
+
+private:
+  friend class scratch_buffer;
+  void release(const scratch_buffer& buf);
+
+  // Growth never moves live claims: a checkout that does not fit the newest
+  // block opens a fresh one (older blocks keep their outstanding claims),
+  // and once every claim is back the arena consolidates into one block
+  // sized to the high-water mark — after which take() never allocates.
+  struct block {
+    float* data = nullptr;  // 64-byte aligned, owned by the arena
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+  std::vector<block> blocks_;
+  std::size_t used_total_ = 0;  // floats checked out across all blocks
+  std::size_t high_water_ = 0;
+  std::size_t outstanding_ = 0;
+  std::size_t block_allocations_ = 0;
+};
+
+}  // namespace pelta

@@ -1,0 +1,46 @@
+// THE frozen copy of the pre-blocked GEMM kernel (the naive cache-friendly
+// i-k-j loop with the lazy zero-skip gate) — the single baseline both the
+// kernel test suite and bench_kernels compare the blocked micro-kernels
+// against, bit for bit. Do not "improve" it: its value is that it never
+// changes. Accumulation goes through ops::detail::fmadd, the same
+// compile-time rounding choice the blocked kernels use — with a bare
+// `out += a * b` here, -ffp-contract would be free to fuse this loop
+// differently from the library kernel on FMA targets and the bitwise
+// comparisons would break.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/kernels.h"
+
+namespace pelta::ops::reference {
+
+inline void reference_gemm(const float* a, const float* b, float* out, std::int64_t m,
+                           std::int64_t k, std::int64_t n) {
+  const bool skip = detail::all_finite(b, k * n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f && skip) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] = detail::fmadd(av, brow[j], orow[j]);
+    }
+  }
+}
+
+// Pre-PR transposed-B path: materialize Bᵀ ([n,k] -> [k,n]) per call, then
+// run the naive kernel — exactly what conv2d_backward_weight used to do
+// with cols_t.
+inline void reference_gemm_bt(const float* a, const float* bt, float* out, std::int64_t m,
+                              std::int64_t k, std::int64_t n, std::vector<float>& b_storage) {
+  b_storage.resize(static_cast<std::size_t>(k * n));
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t kk = 0; kk < k; ++kk)
+      b_storage[static_cast<std::size_t>(kk * n + j)] = bt[j * k + kk];
+  reference_gemm(a, b_storage.data(), out, m, k, n);
+}
+
+}  // namespace pelta::ops::reference

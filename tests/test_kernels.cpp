@@ -1,0 +1,348 @@
+// Kernel suite for the blocked GEMM micro-kernels and the scratch arena.
+//
+// The blocked kernels promise bit-identity with the classic i-k-j loop on
+// every path (full register tiles, row tails, column tails, any row split a
+// parallel chunking might produce) — each case here compares against a
+// frozen copy of the pre-blocked reference kernel with memcmp, not a
+// tolerance. The static initializer pins PELTA_THREADS=8 (without
+// overriding an explicit environment setting) so the pooled runs really
+// cross threads even on single-core hosts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "reference_kernels.h"
+#include "tensor/conv.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+#include "tensor/scratch.h"
+#include "tensor/tensor.h"
+
+namespace pelta {
+namespace {
+
+const bool k_threads_pinned = [] {
+  setenv("PELTA_THREADS", "8", /*overwrite=*/0);
+  return true;
+}();
+
+using ops::detail::finite_cache;
+using ops::detail::gemm_accumulate;
+using ops::detail::gemm_accumulate_bt;
+using ops::detail::k_gemm_mr;
+using ops::detail::k_gemm_nr;
+using ops::reference::reference_gemm;  // THE frozen pre-PR baseline
+
+// Operand with zeros sprinkled in (the skip path must see real zeros).
+std::vector<float> random_operand(rng& gen, std::int64_t count, float zero_fraction) {
+  std::vector<float> v(static_cast<std::size_t>(count));
+  for (float& x : v)
+    x = gen.bernoulli(zero_fraction) ? 0.0f : gen.uniform(-1.0f, 1.0f);
+  return v;
+}
+
+bool bits_equal(const std::vector<float>& x, const std::vector<float>& y) {
+  return x.size() == y.size() &&
+         (x.empty() || std::memcmp(x.data(), y.data(), x.size() * sizeof(float)) == 0);
+}
+
+TEST(BlockedGemm, BitEqualsReferenceOnEdgeShapes) {
+  rng gen{41};
+  // Every combination straddling the register tile: empty, single, tile-1,
+  // tile, tile+1 for both MR (rows) and NR (columns), plus non-multiples.
+  const std::vector<std::int64_t> row_dims{0, 1, 3, 4, 5, 11};
+  const std::vector<std::int64_t> k_dims{0, 1, 2, 7, 19};
+  const std::vector<std::int64_t> col_dims{0,  1,  3,  static_cast<std::int64_t>(k_gemm_mr) - 1,
+                                           4,  5,  15, static_cast<std::int64_t>(k_gemm_nr),
+                                           17, 37};
+  for (std::int64_t m : row_dims)
+    for (std::int64_t k : k_dims)
+      for (std::int64_t n : col_dims) {
+        const std::vector<float> a = random_operand(gen, m * k, 0.25f);
+        const std::vector<float> b = random_operand(gen, k * n, 0.1f);
+        std::vector<float> base(static_cast<std::size_t>(m * n));
+        for (float& x : base) x = gen.uniform(-0.5f, 0.5f);  // nonzero accumulation base
+        std::vector<float> want = base, got = base;
+        reference_gemm(a.data(), b.data(), want.data(), m, k, n);
+        finite_cache cache;
+        gemm_accumulate(a.data(), b.data(), got.data(), m, k, n, cache);
+        ASSERT_TRUE(bits_equal(want, got)) << "m=" << m << " k=" << k << " n=" << n;
+      }
+}
+
+TEST(BlockedGemm, RowSliceInvariance) {
+  // Chunked invocation over arbitrary row splits must reproduce the whole-
+  // matrix call bit for bit — the invariant parallel_for_range relies on.
+  rng gen{43};
+  const std::int64_t m = 37, k = 23, n = 41;
+  const std::vector<float> a = random_operand(gen, m * k, 0.3f);
+  const std::vector<float> b = random_operand(gen, k * n, 0.0f);
+  std::vector<float> whole(static_cast<std::size_t>(m * n), 0.0f);
+  {
+    finite_cache cache;
+    gemm_accumulate(a.data(), b.data(), whole.data(), m, k, n, cache);
+  }
+  for (const std::int64_t step : {1, 2, 3, 5, 8, 36}) {
+    std::vector<float> sliced(static_cast<std::size_t>(m * n), 0.0f);
+    finite_cache cache;
+    for (std::int64_t lo = 0; lo < m; lo += step) {
+      const std::int64_t len = std::min<std::int64_t>(step, m - lo);
+      gemm_accumulate(a.data() + lo * k, b.data(), sliced.data() + lo * n, len, k, n, cache);
+    }
+    ASSERT_TRUE(bits_equal(whole, sliced)) << "step=" << step;
+  }
+}
+
+TEST(BlockedGemm, TransposedBVariantBitEqualsMaterializedTranspose) {
+  rng gen{47};
+  for (std::int64_t m : {1, 3, 4, 5, 10})
+    for (std::int64_t k : {1, 2, 9, 24})
+      for (std::int64_t n : {1, 2, 3, 4, 5, 13, 16}) {
+        const std::vector<float> a = random_operand(gen, m * k, 0.3f);
+        const std::vector<float> bt = random_operand(gen, n * k, 0.1f);  // [n, k]
+        std::vector<float> b(static_cast<std::size_t>(k * n));           // [k, n]
+        for (std::int64_t j = 0; j < n; ++j)
+          for (std::int64_t kk = 0; kk < k; ++kk)
+            b[static_cast<std::size_t>(kk * n + j)] = bt[static_cast<std::size_t>(j * k + kk)];
+        std::vector<float> want(static_cast<std::size_t>(m * n), 0.0f), got = want;
+        reference_gemm(a.data(), b.data(), want.data(), m, k, n);
+        finite_cache cache;
+        gemm_accumulate_bt(a.data(), bt.data(), got.data(), m, k, n, cache);
+        ASSERT_TRUE(bits_equal(want, got)) << "m=" << m << " k=" << k << " n=" << n;
+      }
+}
+
+// Regression for the poisoned-update gate: a NaN/Inf B operand must surface
+// through a zero A row — the zero-skip fast path is only legal when B is
+// fully finite, and the gate is now decided once per call, not per element.
+TEST(BlockedGemm, PoisonedBPropagatesThroughZeroARow) {
+  const std::int64_t m = 3, k = 4, n = 8;
+  std::vector<float> a(static_cast<std::size_t>(m * k), 0.0f);
+  for (std::int64_t j = 0; j < k; ++j) a[static_cast<std::size_t>(0 * k + j)] = 1.0f;
+  // Row 1 and 2 of A are all zeros. B: one NaN, one Inf.
+  std::vector<float> b(static_cast<std::size_t>(k * n), 0.5f);
+  b[static_cast<std::size_t>(1 * n + 2)] = std::numeric_limits<float>::quiet_NaN();
+  b[static_cast<std::size_t>(2 * n + 5)] = std::numeric_limits<float>::infinity();
+
+  std::vector<float> out(static_cast<std::size_t>(m * n), 0.0f);
+  finite_cache cache;
+  gemm_accumulate(a.data(), b.data(), out.data(), m, k, n, cache);
+  // The nonzero row sees NaN (NaN term) and Inf (Inf term); the all-zero
+  // rows see NaN in both poisoned columns, because 0 * NaN and 0 * Inf are
+  // NaN — the zero-skip fast path must be disabled for this operand.
+  EXPECT_TRUE(std::isnan(out[2]));
+  EXPECT_TRUE(std::isinf(out[5]));
+  for (std::int64_t i = 1; i < m; ++i) {
+    EXPECT_TRUE(std::isnan(out[static_cast<std::size_t>(i * n + 2)])) << "row " << i;
+    EXPECT_TRUE(std::isnan(out[static_cast<std::size_t>(i * n + 5)])) << "row " << i;
+  }
+
+  // Transposed-B variant: same contract.
+  std::vector<float> bt(static_cast<std::size_t>(n * k), 0.5f);
+  bt[static_cast<std::size_t>(2 * k + 1)] = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> out_bt(static_cast<std::size_t>(m * n), 0.0f);
+  finite_cache cache_bt;
+  gemm_accumulate_bt(a.data(), bt.data(), out_bt.data(), m, k, n, cache_bt);
+  for (std::int64_t i = 0; i < m; ++i)
+    EXPECT_TRUE(std::isnan(out_bt[static_cast<std::size_t>(i * n + 2)])) << "row " << i;
+
+  // And the complement: with a fully finite B, zero A rows stay exactly at
+  // the accumulation base.
+  std::vector<float> b_fin(static_cast<std::size_t>(k * n), 0.5f);
+  std::vector<float> out_fin(static_cast<std::size_t>(m * n), 0.0f);
+  finite_cache cache_fin;
+  gemm_accumulate(a.data(), b_fin.data(), out_fin.data(), m, k, n, cache_fin);
+  for (std::int64_t j = 0; j < n; ++j) {
+    EXPECT_EQ(out_fin[static_cast<std::size_t>(1 * n + j)], 0.0f);
+    EXPECT_EQ(out_fin[static_cast<std::size_t>(2 * n + j)], 0.0f);
+  }
+}
+
+TEST(BlockedGemm, MatmulBitIdenticalAcrossThreadWidths) {
+  rng gen{53};
+  const std::int64_t m = 130, k = 64, n = 50;  // m deliberately not a tile multiple
+  tensor a = tensor::randn(gen, {m, k});
+  tensor b = tensor::randn(gen, {k, n});
+  tensor pooled = ops::matmul(a, b);
+  tensor serial = [&] {
+    serial_guard guard;
+    return ops::matmul(a, b);
+  }();
+  tensor two_wide = [&] {
+    concurrency_guard guard{2};
+    return ops::matmul(a, b);
+  }();
+  ASSERT_EQ(0, std::memcmp(pooled.data().data(), serial.data().data(),
+                           static_cast<std::size_t>(pooled.numel()) * sizeof(float)));
+  ASSERT_EQ(0, std::memcmp(pooled.data().data(), two_wide.data().data(),
+                           static_cast<std::size_t>(pooled.numel()) * sizeof(float)));
+}
+
+// Satellite: elementwise zip/unary now dispatch through the pool above a
+// grain threshold. Values must be bit-identical at every thread width.
+TEST(Elementwise, BitIdenticalAcrossThreadWidths) {
+  rng gen{59};
+  const std::int64_t count = (1 << 17) + 7;  // above the grain, odd tail
+  tensor a = tensor::randn(gen, {count});
+  tensor b = ops::add_scalar(ops::abs(tensor::randn(gen, {count})), 0.5f);
+
+  const auto run_all = [&] {
+    std::vector<tensor> r;
+    r.push_back(ops::add(a, b));
+    r.push_back(ops::sub(a, b));
+    r.push_back(ops::mul(a, b));
+    r.push_back(ops::div(a, b));
+    r.push_back(ops::relu(a));
+    r.push_back(ops::exp(a));
+    r.push_back(ops::tanh(a));
+    r.push_back(ops::sign(a));
+    r.push_back(ops::add_scalar(a, 0.25f));
+    r.push_back(ops::mul_scalar(a, -1.5f));
+    return r;
+  };
+  const std::vector<tensor> pooled = run_all();
+  serial_guard guard;
+  const std::vector<tensor> serial = run_all();
+  ASSERT_EQ(pooled.size(), serial.size());
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    ASSERT_TRUE(pooled[i].same_shape(serial[i]));
+    ASSERT_EQ(0, std::memcmp(pooled[i].data().data(), serial[i].data().data(),
+                             static_cast<std::size_t>(pooled[i].numel()) * sizeof(float)))
+        << "op index " << i;
+  }
+}
+
+// Direct-convolution reference accumulating in the same (ci, ky, kx) order
+// as the im2col GEMM: values must match exactly (float ==, padding
+// contributes exact zero terms).
+tensor reference_conv2d(const tensor& input, const tensor& weight, const tensor& bias,
+                        std::int64_t stride, std::int64_t pad) {
+  const std::int64_t b = input.size(0), c = input.size(1), h = input.size(2), w = input.size(3);
+  const std::int64_t oc = weight.size(0), kh = weight.size(2), kw = weight.size(3);
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  tensor out{shape_t{b, oc, oh, ow}};
+  for (std::int64_t n = 0; n < b; ++n)
+    for (std::int64_t o = 0; o < oc; ++o)
+      for (std::int64_t y = 0; y < oh; ++y)
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float acc = bias.numel() == oc ? bias[o] : 0.0f;
+          for (std::int64_t ci = 0; ci < c; ++ci)
+            for (std::int64_t ky = 0; ky < kh; ++ky)
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t iy = y * stride - pad + ky;
+                const std::int64_t ix = x * stride - pad + kx;
+                const float v =
+                    (iy < 0 || iy >= h || ix < 0 || ix >= w) ? 0.0f : input.at(n, ci, iy, ix);
+                acc += weight.at(o, ci, ky, kx) * v;
+              }
+          out.at(n, o, y, x) = acc;
+        }
+  return out;
+}
+
+// Covers the fringe-only zero-fill in im2col: strides and paddings that
+// clip every edge (including pad >= kernel, whose first/last taps are
+// entirely out of bounds).
+TEST(Im2col, FringeFillMatchesDirectConvolution) {
+  rng gen{61};
+  struct case_t {
+    std::int64_t c, h, w, oc, kh, kw, stride, pad;
+  };
+  const case_t cases[] = {
+      {1, 5, 5, 2, 3, 3, 1, 0}, {2, 6, 6, 3, 3, 3, 1, 1}, {2, 7, 5, 3, 3, 3, 2, 1},
+      {1, 8, 8, 2, 5, 5, 1, 2}, {2, 9, 7, 2, 3, 3, 3, 2}, {1, 6, 6, 2, 3, 3, 1, 3},
+      {2, 5, 5, 2, 1, 1, 1, 0}, {1, 7, 7, 2, 3, 1, 2, 1}, {1, 4, 4, 1, 4, 4, 4, 2},
+  };
+  for (const case_t& cs : cases) {
+    tensor input = tensor::randn(gen, {2, cs.c, cs.h, cs.w});
+    tensor weight = tensor::randn(gen, {cs.oc, cs.c, cs.kh, cs.kw});
+    tensor bias = tensor::rand_uniform(gen, {cs.oc}, 0.1f, 0.9f);
+    tensor got = ops::conv2d(input, weight, bias, cs.stride, cs.pad);
+    tensor want = reference_conv2d(input, weight, bias, cs.stride, cs.pad);
+    ASSERT_TRUE(got.same_shape(want));
+    auto pg = got.data();
+    auto pw = want.data();
+    for (std::size_t i = 0; i < pg.size(); ++i)
+      ASSERT_EQ(pg[i], pw[i]) << "stride=" << cs.stride << " pad=" << cs.pad << " i=" << i;
+  }
+}
+
+// Satellite: steady state performs zero allocations — the second identical
+// conv2d call sequence must not grow any arena. Forced serial so every
+// checkout lands on this thread's arena, where the accessors can see it.
+TEST(ScratchArena, SecondConvCallAllocatesNothing) {
+  serial_guard guard;
+  rng gen{67};
+  tensor input = tensor::randn(gen, {2, 3, 12, 12});
+  tensor weight = tensor::randn(gen, {8, 3, 3, 3});
+  tensor bias = tensor::rand_uniform(gen, {8}, -0.1f, 0.1f);
+
+  const auto run_once = [&] {
+    tensor out = ops::conv2d(input, weight, bias, 1, 1);
+    tensor grad_out = tensor::ones(out.shape());
+    ops::conv2d_backward_input(grad_out, weight, 1, 1, input.shape());
+    ops::conv2d_backward_weight(grad_out, input, 1, 1, weight.shape());
+  };
+
+  run_once();
+  scratch_arena& arena = scratch_arena::local();
+  EXPECT_EQ(arena.outstanding(), 0u);
+  EXPECT_GT(arena.high_water_floats(), 0u);
+  const std::size_t allocs_after_warmup = arena.block_allocations();
+  run_once();
+  run_once();
+  EXPECT_EQ(arena.block_allocations(), allocs_after_warmup)
+      << "steady-state conv2d calls must reuse the arena high-water block";
+  EXPECT_EQ(arena.outstanding(), 0u);
+  EXPECT_GE(arena.capacity_floats(), arena.high_water_floats());
+}
+
+TEST(ScratchArena, LifoGrowthPreservesLiveClaims) {
+  scratch_arena arena;  // private instance: counters start at zero
+  {
+    scratch_buffer small = arena.take(64);
+    for (std::size_t i = 0; i < small.size(); ++i) small.data()[i] = static_cast<float>(i);
+    const float* small_ptr = small.data();
+    // Force growth while `small` is live: the new claim must come from a
+    // fresh block and `small` must stay in place, contents intact.
+    scratch_buffer big = arena.take(1 << 20);
+    big.data()[0] = 1.0f;  // the claim is real, writable memory
+    EXPECT_EQ(small.data(), small_ptr);
+    for (std::size_t i = 0; i < small.size(); ++i)
+      EXPECT_EQ(small.data()[i], static_cast<float>(i));
+    EXPECT_EQ(arena.outstanding(), 2u);
+    EXPECT_GE(arena.block_allocations(), 2u);
+  }
+  // All claims back: the arena consolidates to one high-water block and
+  // an identical take pattern no longer allocates.
+  EXPECT_EQ(arena.outstanding(), 0u);
+  const std::size_t allocs = arena.block_allocations();
+  {
+    scratch_buffer small = arena.take(64);
+    scratch_buffer big = arena.take(1 << 20);
+    EXPECT_EQ(arena.block_allocations(), allocs);
+  }
+  EXPECT_EQ(arena.block_allocations(), allocs);
+}
+
+TEST(ScratchArena, EmptyTakeAndMoveSemantics) {
+  scratch_arena arena;
+  scratch_buffer empty = arena.take(0);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(arena.outstanding(), 0u);
+
+  scratch_buffer a = arena.take(10);
+  scratch_buffer moved = std::move(a);
+  EXPECT_EQ(moved.size(), 10u);
+  EXPECT_EQ(arena.outstanding(), 1u);  // the claim followed the move
+}
+
+}  // namespace
+}  // namespace pelta
