@@ -234,6 +234,8 @@ int main() {
     std::printf("FAIL: blocked kernel below %.1fx on the largest shapes\n", threshold);
     ok = false;
   }
+  if (!ok)
+    std::printf("see docs/BENCHMARKS.md for this bench's gate, knobs and expected output\n");
   std::printf("%s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

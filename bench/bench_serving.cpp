@@ -1,0 +1,245 @@
+// Serving-runtime throughput: dynamic batching vs the serial per-request
+// loop, both under the PELTA shield.
+//
+// The serial baseline is the pre-serve deployment (core/pelta.h): every
+// request pays one batch-1 forward (graph construction included) plus one
+// ecall-style shield application — two world switches per masked tensor.
+// The batched path is serve::server with a {max_batch, max_delay} policy
+// and a switchless hotcall enclave session: one big forward and ONE shield
+// per batch.
+//
+// The GATE runs on the simulated clock, like bench_fl_async: both paths
+// are priced by the same cost model (server_config's per-forward setup +
+// per-sample compute, the same convention as fl/async_config's modeled
+// compute, plus the §VI TEE cost model — ecall-style for the loop, hotcall
+// for the session), so the result is deterministic and host-independent.
+// Wall-clock for both paths is measured and reported alongside in
+// interleaved best-of rounds; on a single hardware core the wall ratio
+// sits near 1x for GEMM-bound models (the PR 2 scaling bench documents the
+// same effect) and grows toward the batch amortization on real parallel
+// hosts. Logits are bit-checked against the serial loop regardless:
+// batching must never change results.
+//
+//   PELTA_SERVE_REQUESTS=192 PELTA_SERVE_ROUNDS=5 ./bench_serving
+//   PELTA_SERVE_MIN_SPEEDUP=3 (0 disables the gate)
+//
+// Exit code: non-zero if batch-32 dynamic batching is below the simulated
+// speedup threshold at PELTA_THREADS=8, or if any batched logits row
+// differs bitwise from the serial loop. Emits BENCH_serving.json.
+// On failure: see docs/BENCHMARKS.md (gates, schema, expected output).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "bench/common.h"
+#include "models/vit.h"
+#include "serve/server.h"
+#include "shield/shield.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace {
+
+using namespace pelta;
+
+double env_speedup_threshold() {
+  if (const char* v = std::getenv("PELTA_SERVE_MIN_SPEEDUP")) return std::atof(v);
+  return 3.0;
+}
+
+models::vit_config serving_vit_config() {
+  models::vit_config c;
+  c.name = "serving-vit";
+  c.image_size = 16;
+  c.patch_size = 4;
+  c.dim = 16;
+  c.heads = 2;
+  c.blocks = 1;
+  c.mlp_hidden = 32;
+  c.classes = 6;
+  c.seed = 2023;
+  return c;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct sweep_point {
+  std::int64_t max_batch = 0;
+  double wall_best_s = 1e300;   // wall-clock for the whole workload
+  double sim_span_ns = 0.0;     // simulated makespan of the same workload
+  double modeled_tee_ns_per_request = 0.0;
+  double mean_batch_size = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  setenv("PELTA_THREADS", "8", /*overwrite=*/0);
+  bench::scale s;
+  const std::int64_t n = bench::env_int("PELTA_SERVE_REQUESTS", 192);
+  const std::int64_t rounds = bench::env_int("PELTA_SERVE_ROUNDS", 5);
+  const double threshold = env_speedup_threshold();
+  s.print("bench_serving");
+  std::printf("threads=%d requests=%lld rounds=%lld (interleaved best-of)\n\n",
+              parallel_thread_count(), static_cast<long long>(n),
+              static_cast<long long>(rounds));
+
+  models::vit_model model{serving_vit_config()};
+  const serve::server_config cost_model{};  // the shared compute-cost constants
+
+  // A saturated open-loop workload: all requests pending at t=0, so the
+  // batcher always finds a full batch — the pure throughput regime.
+  rng gen{s.seed};
+  std::vector<serve::classify_request> workload;
+  workload.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    serve::classify_request r;
+    r.id = i;
+    r.image = tensor::rand_uniform(gen, {3, 16, 16});
+    r.submit_ns = 0.0;
+    workload.push_back(std::move(r));
+  }
+
+  // ---- serial per-request reference (logits + modeled cost) -----------------
+  std::vector<tensor> serial_logits;
+  serial_logits.reserve(static_cast<std::size_t>(n));
+  double serial_modeled_tee_ns = 0.0;
+  {
+    tee::enclave enclave;
+    for (const serve::classify_request& r : workload) {
+      models::forward_pass fp =
+          model.forward(r.image.reshape(shape_t{1, 3, 16, 16}), ad::norm_mode::eval);
+      shield::pelta_shield_tags(fp.graph, model.shield_frontier_tags(), &enclave, "serial/");
+      const tensor& logits = fp.graph.value(fp.logits);
+      serial_logits.push_back(logits.reshape(shape_t{logits.numel()}));
+    }
+    serial_modeled_tee_ns = enclave.statistics().simulated_ns;
+  }
+  // Every request pays one full forward: per-forward setup + one sample of
+  // compute + its own ecall-style shield.
+  const double serial_sim_span_ns =
+      static_cast<double>(n) * (cost_model.batch_setup_ns + cost_model.compute_ns_per_sample) +
+      serial_modeled_tee_ns;
+
+  const std::int64_t sweep_batches[] = {1, 4, 8, 32};
+  std::vector<sweep_point> sweep(std::size(sweep_batches));
+  for (std::size_t i = 0; i < sweep.size(); ++i) sweep[i].max_batch = sweep_batches[i];
+  double serial_wall_best_s = 1e300;
+  bool bits_ok = true;
+
+  for (std::int64_t round = 0; round < rounds; ++round) {
+    // Serial leg (wall-clock).
+    {
+      tee::enclave enclave;
+      const auto t0 = std::chrono::steady_clock::now();
+      std::int64_t sink = 0;
+      for (const serve::classify_request& r : workload) {
+        models::forward_pass fp =
+            model.forward(r.image.reshape(shape_t{1, 3, 16, 16}), ad::norm_mode::eval);
+        shield::pelta_shield_tags(fp.graph, model.shield_frontier_tags(), &enclave, "serial/");
+        sink += ops::argmax(fp.graph.value(fp.logits));
+      }
+      serial_wall_best_s = std::min(serial_wall_best_s, seconds_since(t0));
+      if (sink == -1) std::printf("impossible\n");  // defeat dead-code elimination
+    }
+
+    // Batched legs.
+    for (sweep_point& point : sweep) {
+      tee::enclave enclave;
+      serve::model_backend backend{model};
+      serve::server_config cfg = cost_model;
+      cfg.policy = {point.max_batch, 2e6};
+      serve::server srv{backend, enclave, cfg};
+      const auto t0 = std::chrono::steady_clock::now();
+      const serve::serving_report report = srv.run(workload);
+      point.wall_best_s = std::min(point.wall_best_s, seconds_since(t0));
+      point.sim_span_ns = report.simulated_span_ns();
+      point.modeled_tee_ns_per_request = report.enclave_ns / static_cast<double>(n);
+      point.mean_batch_size = report.mean_batch_size();
+
+      if (round == 0) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          const tensor& got = report.results[static_cast<std::size_t>(i)].logits;
+          const tensor& want = serial_logits[static_cast<std::size_t>(i)];
+          if (got.shape() != want.shape() ||
+              std::memcmp(got.data().data(), want.data().data(),
+                          got.data().size() * sizeof(float)) != 0) {
+            bits_ok = false;
+            std::printf("BIT MISMATCH: max_batch=%lld request %lld\n",
+                        static_cast<long long>(point.max_batch), static_cast<long long>(i));
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- report ---------------------------------------------------------------
+  const double serial_sim_rps = static_cast<double>(n) / (serial_sim_span_ns / 1e9);
+  const double serial_wall_rps = static_cast<double>(n) / serial_wall_best_s;
+  std::printf("%-30s %9.0f req/s sim  %9.0f req/s wall   (TEE %7.0f ns/req, ecall)\n",
+              "serial per-request loop", serial_sim_rps, serial_wall_rps,
+              serial_modeled_tee_ns / static_cast<double>(n));
+  double gated_speedup = 0.0;
+  for (const sweep_point& point : sweep) {
+    const double sim_rps = static_cast<double>(n) / (point.sim_span_ns / 1e9);
+    const double wall_rps = static_cast<double>(n) / point.wall_best_s;
+    const double sim_speedup = sim_rps / serial_sim_rps;
+    if (point.max_batch == 32) gated_speedup = sim_speedup;
+    std::printf("dynamic batching max_batch=%-3lld %8.0f req/s sim  %9.0f req/s wall   "
+                "(TEE %7.0f ns/req, hotcall)  %5.2fx sim\n",
+                static_cast<long long>(point.max_batch), sim_rps, wall_rps,
+                point.modeled_tee_ns_per_request, sim_speedup);
+  }
+  std::printf("\nmodeled TEE amortization at batch 32: %.1fx fewer ns/request than the "
+              "ecall-style loop\n",
+              (serial_modeled_tee_ns / static_cast<double>(n)) /
+                  std::max(sweep.back().modeled_tee_ns_per_request, 1e-9));
+  std::printf("(wall-clock ratio %.2fx on this host — near 1x on a single hardware core,\n"
+              " where one sample already saturates the GEMM kernels; the simulated clock\n"
+              " prices the per-request setup + TEE overheads batching actually removes)\n",
+              (static_cast<double>(n) / sweep.back().wall_best_s) / serial_wall_rps);
+
+  // ---- machine-readable trajectory record -----------------------------------
+  {
+    std::ofstream js("BENCH_serving.json");
+    js << "{\n  \"bench\": \"serving\",\n  \"threads\": " << parallel_thread_count()
+       << ",\n  \"requests\": " << n << ",\n  \"batch_setup_ns\": " << cost_model.batch_setup_ns
+       << ",\n  \"compute_ns_per_sample\": " << cost_model.compute_ns_per_sample
+       << ",\n  \"serial_sim_rps\": " << serial_sim_rps
+       << ",\n  \"serial_wall_rps\": " << serial_wall_rps
+       << ",\n  \"serial_modeled_tee_ns_per_request\": "
+       << serial_modeled_tee_ns / static_cast<double>(n) << ",\n  \"batched\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const sweep_point& point = sweep[i];
+      const double sim_rps = static_cast<double>(n) / (point.sim_span_ns / 1e9);
+      js << "    {\"max_batch\": " << point.max_batch << ", \"sim_rps\": " << sim_rps
+         << ", \"wall_rps\": " << static_cast<double>(n) / point.wall_best_s
+         << ", \"sim_speedup_vs_serial\": " << sim_rps / serial_sim_rps
+         << ", \"mean_batch_size\": " << point.mean_batch_size
+         << ", \"modeled_tee_ns_per_request\": " << point.modeled_tee_ns_per_request << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"speedup_threshold\": " << threshold
+       << ",\n  \"gated_sim_speedup_batch32\": " << gated_speedup
+       << ",\n  \"bits_match_serial\": " << (bits_ok ? "true" : "false") << "\n}\n";
+  }
+  std::printf("wrote BENCH_serving.json\n");
+
+  bool ok = bits_ok;
+  if (threshold > 0 && gated_speedup < threshold) {
+    std::printf("FAIL: batch-32 dynamic batching at %.2fx simulated, below the %.1fx gate\n",
+                gated_speedup, threshold);
+    ok = false;
+  }
+  if (!ok)
+    std::printf("see docs/BENCHMARKS.md for this bench's gate, knobs and expected output\n");
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

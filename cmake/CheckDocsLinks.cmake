@@ -1,0 +1,51 @@
+# Dead-link check for the markdown docs: every relative link target in
+# README.md, docs/*.md and tests/README.md must exist on disk. External
+# (http/https/mailto) and intra-page (#anchor) links are skipped; anchors on
+# relative links are stripped before the existence check.
+#
+#   cmake -DREPO_ROOT=/path/to/repo -P cmake/CheckDocsLinks.cmake
+if(NOT REPO_ROOT)
+  message(FATAL_ERROR "pass -DREPO_ROOT=<repository root>")
+endif()
+
+file(GLOB md_files
+  ${REPO_ROOT}/README.md
+  ${REPO_ROOT}/docs/*.md
+  ${REPO_ROOT}/tests/README.md)
+
+set(dead_links "")
+set(checked 0)
+foreach(md ${md_files})
+  file(READ ${md} content)
+  # Semicolons in the prose break list splitting, and a literal "]" in a
+  # list element breaks it too (unbalanced-bracket quoting) — so drop the
+  # semicolons and rewrite the "](" link marker to a bracket-free sentinel
+  # before matching.
+  string(REPLACE ";" " " content "${content}")
+  string(REPLACE "](" "\nLINK->(" content "${content}")
+  get_filename_component(base ${md} DIRECTORY)
+  file(RELATIVE_PATH md_rel ${REPO_ROOT} ${md})
+  # [text](target) markdown links.
+  string(REGEX MATCHALL "LINK->\\(([^)\n]+)\\)" links "${content}")
+  foreach(link ${links})
+    string(REGEX REPLACE "^LINK->\\((.*)\\)$" "\\1" target "${link}")
+    if(target MATCHES "^[a-zA-Z][a-zA-Z0-9+.-]*:" OR target MATCHES "^#")
+      continue()  # external scheme or intra-page anchor
+    endif()
+    string(REGEX REPLACE "#[^#]*$" "" target "${target}")
+    if(target STREQUAL "")
+      continue()
+    endif()
+    math(EXPR checked "${checked} + 1")
+    if(NOT EXISTS ${base}/${target})
+      list(APPEND dead_links "  ${md_rel}: (${target})")
+    endif()
+  endforeach()
+endforeach()
+
+if(dead_links)
+  list(JOIN dead_links "\n" pretty)
+  message(FATAL_ERROR "dead relative links in the docs:\n${pretty}")
+endif()
+list(LENGTH md_files file_count)
+message(STATUS "docs links OK: ${checked} relative link(s) across ${file_count} file(s)")

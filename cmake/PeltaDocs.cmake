@@ -1,0 +1,86 @@
+# Docs-as-code checks.
+#
+# pelta_add_docs_checks(<markdown files...>)
+#   * extracts every fenced ```cpp block into its own translation unit under
+#     ${CMAKE_BINARY_DIR}/docs_snippets/ and compiles them all as the
+#     `docs_snippets` object target (compile-only, no link) — a C++ snippet
+#     in the docs that stops compiling breaks the `docs` CTest label and the
+#     CI docs job instead of rotting silently. Snippets must therefore be
+#     self-contained TUs (include their own headers); illustrative
+#     fragments that are not meant to compile use a different fence tag.
+#   * registers `docs_links` (cmake/CheckDocsLinks.cmake), which fails on
+#     dead relative links in the given files.
+# Both tests carry the `docs` label: `ctest -L docs`.
+function(pelta_add_docs_checks)
+  set(snippet_dir ${CMAKE_BINARY_DIR}/docs_snippets)
+  file(MAKE_DIRECTORY ${snippet_dir})
+  set(snippet_sources "")
+
+  foreach(md ${ARGN})
+    # Re-run configure when a doc changes, so snippets stay in sync.
+    set_property(DIRECTORY APPEND PROPERTY CMAKE_CONFIGURE_DEPENDS ${md})
+    file(READ ${md} content)
+    # Newline-split with the usual semicolon dance; square brackets must be
+    # hidden too, or CMake's unbalanced-bracket list quoting fuses lines
+    # (e.g. a lambda capture split across lines). Blank lines are dropped
+    # by list iteration, which is harmless for compilation.
+    string(REPLACE ";" "<SEMI>" content "${content}")
+    string(REPLACE "[" "<LBRK>" content "${content}")
+    string(REPLACE "]" "<RBRK>" content "${content}")
+    string(REPLACE "\n" ";" lines "${content}")
+    get_filename_component(stem ${md} NAME_WE)
+    string(TOLOWER ${stem} stem)
+
+    set(in_block FALSE)
+    set(block "")
+    set(index 0)
+    foreach(line IN LISTS lines)
+      string(REPLACE "<SEMI>" ";" line "${line}")
+      string(REPLACE "<LBRK>" "[" line "${line}")
+      string(REPLACE "<RBRK>" "]" line "${line}")
+      if(in_block)
+        if(line MATCHES "^```")
+          math(EXPR index "${index} + 1")
+          set(out ${snippet_dir}/${stem}_snippet_${index}.cpp)
+          set(existing "")
+          if(EXISTS ${out})
+            file(READ ${out} existing)
+          endif()
+          if(NOT existing STREQUAL block)  # don't dirty unchanged snippets
+            file(WRITE ${out} "${block}")
+          endif()
+          list(APPEND snippet_sources ${out})
+          set(in_block FALSE)
+          set(block "")
+        else()
+          string(APPEND block "${line}\n")
+        endif()
+      elseif(line MATCHES "^```cpp")
+        set(in_block TRUE)
+      endif()
+    endforeach()
+    if(in_block)
+      message(FATAL_ERROR "${md}: unterminated \`\`\`cpp fence")
+    endif()
+  endforeach()
+
+  if(snippet_sources)
+    list(LENGTH snippet_sources snippet_count)
+    message(STATUS "docs: ${snippet_count} \`\`\`cpp snippet(s) -> docs_snippets target")
+    # Object library: compiles every snippet TU, links nothing — the
+    # cheapest possible "does the documented code still build" smoke.
+    add_library(docs_snippets OBJECT EXCLUDE_FROM_ALL ${snippet_sources})
+    target_include_directories(docs_snippets PRIVATE
+      ${CMAKE_SOURCE_DIR}/src
+      ${CMAKE_BINARY_DIR}/src/include)  # generated core/version.h
+    target_link_libraries(docs_snippets PRIVATE pelta_build_flags)
+    add_test(NAME docs_snippets_build
+      COMMAND ${CMAKE_COMMAND} --build ${CMAKE_BINARY_DIR} --target docs_snippets)
+    set_tests_properties(docs_snippets_build PROPERTIES LABELS docs TIMEOUT 600)
+  endif()
+
+  add_test(NAME docs_links
+    COMMAND ${CMAKE_COMMAND} -DREPO_ROOT=${CMAKE_SOURCE_DIR}
+            -P ${CMAKE_SOURCE_DIR}/cmake/CheckDocsLinks.cmake)
+  set_tests_properties(docs_links PROPERTIES LABELS docs TIMEOUT 60)
+endfunction()

@@ -1,0 +1,142 @@
+// Serving demo: a fleet of producer threads fires single-sample classify
+// requests at a TEE-shielded model; the dynamic batcher coalesces them
+// into model batches; every request comes back with its logits, its
+// prediction and a latency breakdown (queue / batch / enclave / compute).
+//
+//   $ ./examples/serving_demo
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/pelta.h"
+#include "core/table.h"
+#include "data/dataset.h"
+#include "models/trainer.h"
+#include "models/vit.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace pelta;
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t at = static_cast<std::size_t>(p * static_cast<double>(values.size() - 1));
+  return values[at];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s — batched shielded-inference serving demo\n\n", version());
+
+  // 1. A small task and a briefly trained ViT classifier.
+  data::dataset_config dc = data::cifar10_like();
+  dc.classes = 4;
+  dc.train_per_class = 40;
+  dc.test_per_class = 25;
+  const data::dataset ds{dc};
+
+  models::vit_config vc;
+  vc.name = "serving-vit";
+  vc.image_size = 16;
+  vc.patch_size = 4;
+  vc.dim = 16;
+  vc.heads = 2;
+  vc.blocks = 1;
+  vc.mlp_hidden = 32;
+  vc.classes = dc.classes;
+  vc.seed = 7;
+  models::vit_model model{vc};
+
+  models::train_config tc;
+  tc.epochs = 6;
+  tc.batch_size = 16;
+  tc.lr = 4e-3f;
+  const models::train_report tr = models::train_model(model, ds, tc);
+  std::printf("trained %s: clean test accuracy %.1f%%\n\n", model.name().c_str(),
+              100.0 * tr.test_accuracy);
+
+  // 2. The server: shielded backend + enclave + dynamic batching policy.
+  tee::enclave enclave;
+  serve::model_backend backend{model};
+  serve::server_config cfg;
+  cfg.policy = {16, 2e6};  // close at 16 requests or 2 ms, whichever first
+  serve::server srv{backend, enclave, cfg};
+
+  // 3. Four producer threads submit 200 requests total, each stamped with
+  //    its simulated arrival (a Poisson stream, ~0.3 ms mean gap).
+  const std::int64_t producers = 4, per_producer = 50;
+  const std::int64_t n = producers * per_producer;
+  const std::vector<double> arrivals = serve::make_poisson_arrivals(n, 3e5, 42);
+  std::vector<std::thread> fleet;
+  for (std::int64_t p = 0; p < producers; ++p)
+    fleet.emplace_back([&, p] {
+      for (std::int64_t i = 0; i < per_producer; ++i) {
+        const std::int64_t id = p * per_producer + i;
+        serve::classify_request r;
+        r.id = id;
+        r.image = ds.test_image(id % ds.test_size());
+        r.submit_ns = arrivals[static_cast<std::size_t>(id)];
+        srv.queue().push(r);
+      }
+    });
+  for (std::thread& t : fleet) t.join();
+  srv.queue().close();
+
+  const serve::serving_report report = srv.drain();
+
+  // 4. What happened, per layer of the latency stack.
+  std::int64_t correct = 0;
+  std::vector<double> queue_ms, batch_ms, enclave_ms, compute_ms, total_ms;
+  for (const serve::classify_result& r : report.results) {
+    if (r.predicted ==
+        static_cast<std::int64_t>(ds.test_label(r.request_id % ds.test_size())))
+      ++correct;
+    queue_ms.push_back(r.latency.queue_ns / 1e6);
+    batch_ms.push_back(r.latency.batch_ns / 1e6);
+    enclave_ms.push_back(r.latency.enclave_ns / 1e6);
+    compute_ms.push_back(r.latency.compute_ns / 1e6);
+    total_ms.push_back(r.latency.total_ns() / 1e6);
+  }
+
+  std::printf("served %lld requests in %lld batches (mean batch %.1f) — "
+              "%.0f req/s on the simulated clock\n",
+              static_cast<long long>(report.requests),
+              static_cast<long long>(report.batches.size()), report.mean_batch_size(),
+              static_cast<double>(report.requests) / (report.simulated_span_ns() / 1e9));
+  std::printf("serving accuracy: %.1f%% (matches the clean model — the shield "
+              "never changes predictions)\n\n",
+              100.0 * static_cast<double>(correct) / static_cast<double>(n));
+
+  text_table t;
+  t.set_header({"latency stage", "p50 ms", "p95 ms"});
+  const auto row = [&](const char* name, std::vector<double>& v) {
+    char p50[32], p95[32];
+    std::snprintf(p50, sizeof p50, "%.3f", percentile(v, 0.5));
+    std::snprintf(p95, sizeof p95, "%.3f", percentile(v, 0.95));
+    t.add_row({name, p50, p95});
+  };
+  row("queue (coalescing)", queue_ms);
+  row("batch (head-of-line)", batch_ms);
+  row("enclave (TEE session)", enclave_ms);
+  row("compute (batched forward)", compute_ms);
+  row("end-to-end", total_ms);
+  std::printf("%s\n", t.to_string().c_str());
+
+  const auto& session = srv.session().accumulated();
+  std::printf("enclave session: %lld batches, %lld hot calls, %.2f ms modeled TEE time\n",
+              static_cast<long long>(session.batches),
+              static_cast<long long>(session.hotcalls), session.enclave_ns / 1e6);
+  std::printf("per request that is %.1f us — an ecall-style per-request shield pays "
+              "~%.0fx more\n",
+              session.enclave_ns / 1e3 / static_cast<double>(n),
+              (2.0 * enclave.costs().world_switch_ns) / enclave.costs().hotcall_ns);
+  std::printf("\nThe batcher turned %lld single-sample calls into %lld shield "
+              "applications;\nqueue+batch delay is the price, enclave+compute "
+              "amortization is the payoff.\n",
+              static_cast<long long>(n), static_cast<long long>(report.batches.size()));
+  return 0;
+}

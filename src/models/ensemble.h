@@ -3,6 +3,8 @@
 // classify the input (Srisakaokul et al.'s MULDEF policy).
 #pragma once
 
+#include <array>
+
 #include "models/model.h"
 
 namespace pelta::models {
@@ -20,6 +22,14 @@ public:
   /// Classify one [C,H,W] image with a uniformly selected member.
   std::int64_t classify(const tensor& image, rng& gen) const;
 
+  /// Batched random-selection classify: predictions [N] for images
+  /// [N,C,H,W]. Sample i draws its member from rng{seed}.fork(i) — exactly
+  /// the stream a serial loop `classify(image_i, root.fork(i))` would use —
+  /// then the batch is partitioned by selected member and each member runs
+  /// ONE batched forward over its sub-batch (two large GEMM groups instead
+  /// of N small ones). Bit-identical to the serial loop.
+  tensor classify_batch(const tensor& images, std::uint64_t seed) const;
+
   /// Accuracy of the random-selection policy over a test set.
   float accuracy(const tensor& images, const tensor& labels, rng& gen) const;
 
@@ -27,5 +37,14 @@ private:
   model* first_;
   model* second_;
 };
+
+/// Per-sample member draw of the random-selection policy: element m of the
+/// result lists the rows member m serves (0 = first). Sample i draws from
+/// rng{seed}.fork(stream_ids[i]) — fork(i) when `stream_ids` is empty —
+/// exactly the stream a serial `classify(image_i, root.fork(...))` loop
+/// consumes. Shared by classify_batch and serve::ensemble_backend so the
+/// draw can never diverge between the batched paths.
+std::array<std::vector<std::int64_t>, 2> select_members(
+    std::int64_t n, std::uint64_t seed, const std::vector<std::int64_t>& stream_ids = {});
 
 }  // namespace pelta::models

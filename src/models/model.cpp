@@ -6,22 +6,29 @@
 namespace pelta::models {
 
 tensor predict(const model& m, const tensor& images) {
-  PELTA_CHECK_MSG(images.ndim() == 4, "predict expects [B,C,H,W]");
+  return ops::argmax_lastdim(predict_logits(m, images));
+}
+
+tensor predict_logits(const model& m, const tensor& images) {
+  PELTA_CHECK_MSG(images.ndim() == 4, "predict_logits expects [B,C,H,W]");
   const std::int64_t n = images.size(0);
   const std::int64_t c = images.size(1), h = images.size(2), w = images.size(3);
+  const std::int64_t classes = m.num_classes();
   constexpr std::int64_t k_grain = 16;  // images per chunk keep eval fast on big splits
 
-  tensor preds{shape_t{n}};
+  tensor logits{shape_t{n, classes}};
   parallel_for_range(n, k_grain, [&](std::int64_t lo, std::int64_t hi) {
     tensor part{shape_t{hi - lo, c, h, w}};
     auto src = images.data();
     std::copy(src.begin() + lo * c * h * w, src.begin() + hi * c * h * w,
               part.data().begin());
     forward_pass fp = m.forward(part, ad::norm_mode::eval);
-    const tensor p = ops::argmax_lastdim(fp.graph.value(fp.logits));
-    for (std::int64_t i = 0; i < hi - lo; ++i) preds[lo + i] = p[i];
+    const tensor& out = fp.graph.value(fp.logits);
+    PELTA_CHECK_MSG(out.numel() == (hi - lo) * classes,
+                    "model emitted " << out.numel() << " logits for " << hi - lo << " samples");
+    std::copy(out.data().begin(), out.data().end(), logits.data().begin() + lo * classes);
   });
-  return preds;
+  return logits;
 }
 
 std::int64_t predict_one(const model& m, const tensor& image) {

@@ -64,6 +64,13 @@ public:
 /// Predictions [B] for a batch of images (eval mode).
 tensor predict(const model& m, const tensor& images);
 
+/// Logits [B, classes] for a batch of images (eval mode). Chunked across
+/// the thread pool exactly like predict(); every row is bit-identical to a
+/// batch-1 forward of that sample (the forward passes are per-sample
+/// independent in eval mode), which is the contract the batched serving
+/// runtime's scatter step relies on.
+tensor predict_logits(const model& m, const tensor& images);
+
 /// Predicted class for a single [C,H,W] image.
 std::int64_t predict_one(const model& m, const tensor& image);
 

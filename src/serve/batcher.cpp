@@ -1,0 +1,69 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/check.h"
+
+namespace pelta::serve {
+
+batch_plan plan_batches(const std::vector<double>& submit_ns, const batch_policy& policy) {
+  PELTA_CHECK_MSG(policy.max_batch >= 1, "batch_policy.max_batch must be >= 1");
+  PELTA_CHECK_MSG(policy.max_delay_ns >= 0.0, "batch_policy.max_delay_ns must be >= 0");
+  const std::size_t n = submit_ns.size();
+  // A NaN stamp would break the sort's strict weak ordering (UB) and an
+  // infinite one the deadline arithmetic — reject both before sorting.
+  for (std::size_t i = 0; i < n; ++i)
+    PELTA_CHECK_MSG(std::isfinite(submit_ns[i]),
+                    "request " << i << " has a non-finite submit_ns");
+
+  // Canonical FIFO order: by arrival stamp, ties by index.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return submit_ns[a] < submit_ns[b];
+  });
+
+  batch_plan plan;
+  plan.requests = static_cast<std::int64_t>(n);
+  std::size_t i = 0;
+  while (i < n) {
+    planned_batch batch;
+    batch.open_ns = submit_ns[order[i]];
+    const double deadline = batch.open_ns + policy.max_delay_ns;
+    std::size_t j = i;
+    while (j < n && static_cast<std::int64_t>(j - i) < policy.max_batch &&
+           submit_ns[order[j]] <= deadline)
+      batch.members.push_back(order[j++]);
+
+    batch.closed_by_fill = static_cast<std::int64_t>(j - i) == policy.max_batch;
+    batch.closed_by_drain = !batch.closed_by_fill && j == n;
+    if (batch.closed_by_fill || batch.closed_by_drain)
+      batch.close_ns = submit_ns[order[j - 1]];  // dispatch at the closing arrival
+    else
+      batch.close_ns = deadline;  // the stream continues past the window
+    plan.batches.push_back(std::move(batch));
+    i = j;
+  }
+  return plan;
+}
+
+std::vector<double> make_poisson_arrivals(std::int64_t n, double mean_gap_ns,
+                                          std::uint64_t seed) {
+  PELTA_CHECK_MSG(n >= 0 && mean_gap_ns >= 0.0, "bad arrival-process parameters");
+  rng gen{seed};
+  std::vector<double> arrivals(static_cast<std::size_t>(n));
+  double clock = 0.0;
+  for (double& t : arrivals) {
+    // Inverse-CDF exponential draw. uniform_real_distribution<float> may
+    // return its upper bound 1.0 outright (LWG 2524); clamp below 1 so the
+    // log stays finite.
+    const double u = std::min(static_cast<double>(gen.uniform()), 1.0 - 1e-9);
+    clock += -mean_gap_ns * std::log1p(-u);
+    t = clock;
+  }
+  return arrivals;
+}
+
+}  // namespace pelta::serve

@@ -1,0 +1,53 @@
+// Dynamic batching on the simulated clock.
+//
+// plan_batches is the single source of truth for batch composition: a pure
+// event loop over arrival stamps (no wall-clock, no threads — the same
+// split as fl/async's plan/execute pair), so the batches a workload forms
+// are bit-reproducible and the property tests can enumerate the policy's
+// boundary behaviour exactly.
+//
+// Policy semantics, in arrival order (ties by request index — FIFO, no
+// request ever overtakes an earlier one):
+//   * a batch OPENS at the arrival of the first request it admits;
+//   * it admits arrivals while it holds fewer than max_batch requests and
+//     the arrival is within open + max_delay_ns (boundary inclusive);
+//   * it CLOSES at the max_batch-th arrival (closed_by_fill), at
+//     open + max_delay_ns when a later request proves the stream continues
+//     past the window, or at its last member's arrival when the stream ends
+//     first (closed_by_drain — shutdown never waits out a delay window).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+#include "tensor/rng.h"
+
+namespace pelta::serve {
+
+/// One planned batch: `members` are indices into the arrival array, in
+/// arrival order.
+struct planned_batch {
+  std::vector<std::size_t> members;
+  double open_ns = 0.0;   ///< arrival of the first member
+  double close_ns = 0.0;  ///< when the batch stopped admitting and was dispatched
+  bool closed_by_fill = false;   ///< reached max_batch
+  bool closed_by_drain = false;  ///< end of stream before fill or deadline
+};
+
+struct batch_plan {
+  std::vector<planned_batch> batches;  ///< in dispatch order
+  std::int64_t requests = 0;
+};
+
+/// Plan the batches a stream of arrivals forms under `policy`. `submit_ns`
+/// need not be sorted; requests are processed by (submit_ns, index).
+batch_plan plan_batches(const std::vector<double>& submit_ns, const batch_policy& policy);
+
+/// Seeded open-loop arrival process: `n` stamps with exponential
+/// inter-arrival gaps of mean `mean_gap_ns` (a Poisson stream, the standard
+/// open-loop serving workload), starting at 0. Pure and single-threaded.
+std::vector<double> make_poisson_arrivals(std::int64_t n, double mean_gap_ns,
+                                          std::uint64_t seed);
+
+}  // namespace pelta::serve

@@ -1,0 +1,71 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace pelta::serve {
+
+std::vector<classify_request> canonicalize(std::vector<classify_request> requests) {
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const classify_request& a, const classify_request& b) {
+                     return a.submit_ns < b.submit_ns ||
+                            (a.submit_ns == b.submit_ns && a.id < b.id);
+                   });
+  return requests;
+}
+
+void request_queue::push(classify_request request) {
+  // Reject non-finite stamps at ingress: canonicalize() sorts by submit_ns
+  // and a NaN would void the comparator's strict weak ordering.
+  PELTA_CHECK_MSG(std::isfinite(request.submit_ns),
+                  "request " << request.id << " has a non-finite submit_ns");
+  {
+    const std::scoped_lock lock{mutex_};
+    PELTA_CHECK_MSG(!closed_, "request_queue is closed");
+    pending_.push_back(std::move(request));
+    ++total_pushed_;
+  }
+  ready_.notify_one();
+}
+
+std::vector<classify_request> request_queue::drain() {
+  const std::scoped_lock lock{mutex_};
+  std::vector<classify_request> out;
+  out.swap(pending_);
+  return out;
+}
+
+std::vector<classify_request> request_queue::wait_drain() {
+  std::unique_lock lock{mutex_};
+  ready_.wait(lock, [&] { return !pending_.empty() || closed_; });
+  std::vector<classify_request> out;
+  out.swap(pending_);
+  return out;
+}
+
+void request_queue::close() {
+  {
+    const std::scoped_lock lock{mutex_};
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool request_queue::closed() const {
+  const std::scoped_lock lock{mutex_};
+  return closed_;
+}
+
+std::int64_t request_queue::pending() const {
+  const std::scoped_lock lock{mutex_};
+  return static_cast<std::int64_t>(pending_.size());
+}
+
+std::int64_t request_queue::total_pushed() const {
+  const std::scoped_lock lock{mutex_};
+  return total_pushed_;
+}
+
+}  // namespace pelta::serve

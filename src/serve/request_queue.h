@@ -1,0 +1,53 @@
+// Thread-safe ingress queue: many producer threads submit single-sample
+// classify requests; the server drains them in bulk.
+//
+// Determinism note: the queue preserves push order only per producer. The
+// server therefore never batches in pop order — a drained set is re-sorted
+// canonically by (submit_ns, id) before planning, so results depend only on
+// the requests themselves, never on producer interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace pelta::serve {
+
+class request_queue {
+public:
+  /// Enqueue one request. Throws after close() — a closed queue accepts no
+  /// new work (drain-on-shutdown semantics).
+  void push(classify_request request);
+
+  /// Remove and return every queued request (possibly empty). Never blocks.
+  std::vector<classify_request> drain();
+
+  /// Block until at least one request is queued or the queue is closed;
+  /// then drain. Returns an empty vector only when closed and empty.
+  std::vector<classify_request> wait_drain();
+
+  /// Close the queue: pending requests stay drainable, new pushes throw,
+  /// and blocked wait_drain() calls wake up.
+  void close();
+
+  bool closed() const;
+  std::int64_t pending() const;
+  std::int64_t total_pushed() const;  ///< lifetime counter
+
+private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<classify_request> pending_;
+  std::int64_t total_pushed_ = 0;
+  bool closed_ = false;
+};
+
+/// THE canonical dispatch order of a drained request set: (submit_ns, id),
+/// stable. server::drain() applies it before planning so results depend
+/// only on the requests, never on producer interleaving.
+std::vector<classify_request> canonicalize(std::vector<classify_request> requests);
+
+}  // namespace pelta::serve

@@ -1,0 +1,229 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "shield/masked_view.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace pelta::serve {
+
+namespace {
+
+// Gather the batch's request images into one [B,C,H,W] model batch,
+// applying the software-defense chain in place when one is configured.
+// Pool-parallel and deterministic: each row writes only its own slice and
+// forks its chain stream from the request id, so a request's preprocessed
+// pixels depend on neither batch composition nor thread count — and the
+// chain output lands directly in the model batch, no intermediate copies.
+tensor gather_batch(const std::vector<classify_request>& requests,
+                    const std::vector<std::size_t>& members, const server_config& config) {
+  PELTA_CHECK(!members.empty());
+  const tensor& first = requests[members.front()].image;
+  PELTA_CHECK_MSG(first.ndim() == 3, "classify_request.image must be [C,H,W]");
+  shape_t batched{static_cast<std::int64_t>(members.size())};
+  for (std::int64_t d : first.shape()) batched.push_back(d);
+  tensor out{batched};
+
+  const bool chained = config.chain != nullptr && !config.chain->empty();
+  const rng chain_root{config.chain_seed};
+  const std::int64_t stride = first.numel();
+  parallel_for(static_cast<std::int64_t>(members.size()), [&](std::int64_t r) {
+    const classify_request& request = requests[members[static_cast<std::size_t>(r)]];
+    PELTA_CHECK_MSG(request.image.shape() == first.shape(),
+                    "request image shape mismatch inside one batch");
+    auto row = out.data().begin() + r * stride;
+    if (chained) {
+      rng gen = chain_root.fork(static_cast<std::uint64_t>(request.id));
+      const tensor pre = config.chain->apply(request.image, gen);
+      std::copy(pre.data().begin(), pre.data().end(), row);
+    } else {
+      std::copy(request.image.data().begin(), request.image.data().end(), row);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+// ---- backends ---------------------------------------------------------------
+
+model_backend::model_backend(const models::model& m, std::string key_prefix)
+    : model_{&m}, key_prefix_{std::move(key_prefix) + m.name() + "/"} {}
+
+tensor model_backend::run_batch(const tensor& images, const std::vector<std::int64_t>& /*ids*/,
+                                tee::secure_store& sink, batch_stats* stats) {
+  models::forward_pass fp = model_->forward(images, ad::norm_mode::eval);
+  const shield::masked_view view =
+      shield::shield_batch(fp.graph, model_->shield_frontier_tags(), sink, key_prefix_);
+  // The prediction must come from the clear, deep part of the model — the
+  // shield may never swallow the serving output.
+  PELTA_CHECK_MSG(view.value_accessible(fp.logits),
+                  "shield frontier reached the logits; nothing left to serve");
+  if (stats != nullptr) {
+    stats->masked_transforms =
+        static_cast<std::int64_t>(view.report().masked_transforms.size());
+    stats->shield_bytes = view.report().total_bytes();
+  }
+  return fp.graph.value(fp.logits);
+}
+
+ensemble_backend::ensemble_backend(const models::random_selection_ensemble& ensemble,
+                                   std::uint64_t seed, std::string key_prefix)
+    : ensemble_{&ensemble}, seed_{seed}, key_prefix_{std::move(key_prefix)} {
+  PELTA_CHECK_MSG(ensemble.first().num_classes() == ensemble.second().num_classes(),
+                  "ensemble members disagree on the class count");
+}
+
+tensor ensemble_backend::run_batch(const tensor& images, const std::vector<std::int64_t>& ids,
+                                   tee::secure_store& sink, batch_stats* stats) {
+  const std::int64_t b = images.size(0);
+  PELTA_CHECK_MSG(static_cast<std::int64_t>(ids.size()) == b,
+                  "ensemble_backend needs one request id per batch row");
+  const std::int64_t stride = images.numel() / b;
+  // Per-request member draw, forked by request id — stable no matter which
+  // batch the request landed in.
+  const std::array<std::vector<std::int64_t>, 2> member_rows =
+      models::select_members(b, seed_, ids);
+
+  tensor logits{shape_t{b, num_classes()}};
+  batch_stats total;
+  for (std::size_t m = 0; m < 2; ++m) {
+    const std::vector<std::int64_t>& rows = member_rows[m];
+    if (rows.empty()) continue;
+    const models::model& member = m == 0 ? ensemble_->first() : ensemble_->second();
+
+    shape_t sub_shape{static_cast<std::int64_t>(rows.size())};
+    for (std::int64_t d = 1; d < images.ndim(); ++d) sub_shape.push_back(images.size(d));
+    tensor sub{sub_shape};
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      std::copy(images.data().begin() + rows[r] * stride,
+                images.data().begin() + (rows[r] + 1) * stride,
+                sub.data().begin() + static_cast<std::int64_t>(r) * stride);
+
+    models::forward_pass fp = member.forward(sub, ad::norm_mode::eval);
+    const shield::masked_view view = shield::shield_batch(
+        fp.graph, member.shield_frontier_tags(), sink, key_prefix_ + member.name() + "/");
+    PELTA_CHECK_MSG(view.value_accessible(fp.logits),
+                    "shield frontier reached the logits of ensemble member '"
+                        << member.name() << "'; nothing left to serve");
+    total.masked_transforms +=
+        static_cast<std::int64_t>(view.report().masked_transforms.size());
+    total.shield_bytes += view.report().total_bytes();
+
+    const tensor& sub_logits = fp.graph.value(fp.logits);
+    const std::int64_t classes = num_classes();
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      std::copy(sub_logits.data().begin() + static_cast<std::int64_t>(r) * classes,
+                sub_logits.data().begin() + static_cast<std::int64_t>(r + 1) * classes,
+                logits.data().begin() + rows[r] * classes);
+  }
+  if (stats != nullptr) *stats = total;
+  return logits;
+}
+
+// ---- server -----------------------------------------------------------------
+
+server::server(shielded_backend& backend, tee::enclave& enclave, server_config config)
+    : backend_{&backend}, config_{std::move(config)}, session_{enclave} {}
+
+serving_report server::run(const std::vector<classify_request>& workload) {
+  std::vector<double> submit_ns(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) submit_ns[i] = workload[i].submit_ns;
+  return execute(workload, plan_batches(submit_ns, config_.policy));
+}
+
+serving_report server::drain() { return run(canonicalize(queue_.drain())); }
+
+serving_report server::drain_wait() { return run(canonicalize(queue_.wait_drain())); }
+
+serving_report server::execute(const std::vector<classify_request>& requests,
+                               const batch_plan& plan) {
+  serving_report report;
+  report.requests = static_cast<std::int64_t>(requests.size());
+  report.results.resize(requests.size());
+  if (requests.empty()) return report;
+
+  report.first_submit_ns = requests.front().submit_ns;
+  for (const classify_request& r : requests)
+    report.first_submit_ns = std::min(report.first_submit_ns, r.submit_ns);
+
+  const std::int64_t classes = backend_->num_classes();
+  double busy_until_ns = 0.0;
+
+  for (std::size_t b = 0; b < plan.batches.size(); ++b) {
+    const planned_batch& batch = plan.batches[b];
+    const std::int64_t size = static_cast<std::int64_t>(batch.members.size());
+
+    std::vector<std::int64_t> ids;
+    ids.reserve(batch.members.size());
+    for (std::size_t m : batch.members) ids.push_back(requests[m].id);
+    const tensor model_batch = gather_batch(requests, batch.members, config_);
+
+    // One forward + one shield application for the whole batch; the session
+    // meters exactly what this batch charged the TEE cost model. A backend
+    // throw (e.g. enclave capacity) must still close the accounting bracket
+    // or the session would wedge on the next batch.
+    session_.begin_batch();
+    shielded_backend::batch_stats stats;
+    tensor logits;
+    try {
+      logits = backend_->run_batch(model_batch, ids, session_.port(), &stats);
+    } catch (...) {
+      session_.end_batch();
+      throw;
+    }
+    const enclave_session::batch_charge charge = session_.end_batch();
+    PELTA_CHECK_MSG(logits.ndim() == 2 && logits.size(0) == size && logits.size(1) == classes,
+                    "backend returned logits " << to_string(logits.shape()) << " for batch of "
+                                               << size);
+
+    // Simulated-clock accounting: the server is a single pipeline — a batch
+    // starts when it closed AND the previous batch finished.
+    const double exec_start_ns = std::max(batch.close_ns, busy_until_ns);
+    const double compute_ns =
+        config_.batch_setup_ns + config_.compute_ns_per_sample * static_cast<double>(size);
+    const double finish_ns = exec_start_ns + charge.enclave_ns + compute_ns;
+    busy_until_ns = finish_ns;
+    report.last_finish_ns = finish_ns;
+    report.enclave_ns += charge.enclave_ns;
+    report.hotcalls += charge.hotcalls;
+
+    batch_record rec;
+    rec.request_ids = ids;
+    rec.close_ns = batch.close_ns;
+    rec.exec_start_ns = exec_start_ns;
+    rec.enclave_ns = charge.enclave_ns;
+    rec.compute_ns = compute_ns;
+    rec.hotcalls = charge.hotcalls;
+    report.batches.push_back(std::move(rec));
+
+    // Scatter per-request results.
+    const tensor preds = ops::argmax_lastdim(logits);
+    for (std::size_t r = 0; r < batch.members.size(); ++r) {
+      const std::size_t m = batch.members[r];
+      classify_result& out = report.results[m];
+      out.request_id = requests[m].id;
+      out.predicted = static_cast<std::int64_t>(preds[static_cast<std::int64_t>(r)]);
+      out.logits = tensor{shape_t{classes}};
+      std::copy(logits.data().begin() + static_cast<std::int64_t>(r) * classes,
+                logits.data().begin() + static_cast<std::int64_t>(r + 1) * classes,
+                out.logits.data().begin());
+      out.batch_index = static_cast<std::int64_t>(b);
+      out.batch_size = size;
+      out.masked_transforms = stats.masked_transforms;
+      out.shield_bytes_batch = stats.shield_bytes;
+      out.submit_ns = requests[m].submit_ns;
+      out.finish_ns = finish_ns;
+      out.latency.queue_ns = batch.close_ns - requests[m].submit_ns;
+      out.latency.batch_ns = exec_start_ns - batch.close_ns;
+      out.latency.enclave_ns = charge.enclave_ns;
+      out.latency.compute_ns = compute_ns;
+    }
+  }
+  return report;
+}
+
+}  // namespace pelta::serve

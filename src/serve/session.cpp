@@ -1,0 +1,36 @@
+#include "serve/session.h"
+
+#include "tensor/check.h"
+
+namespace pelta::serve {
+
+enclave_session::enclave_session(tee::enclave& e)
+    : enclave_{&e}, server_{e}, port_{server_} {}
+
+void enclave_session::begin_batch() {
+  PELTA_CHECK_MSG(!in_batch_, "enclave_session batch already open");
+  in_batch_ = true;
+  ns_mark_ = enclave_->statistics().simulated_ns;
+  calls_mark_ = server_.statistics().calls;
+  stores_mark_ = enclave_->statistics().stores;
+  bytes_mark_ = enclave_->statistics().bytes_in;
+}
+
+enclave_session::batch_charge enclave_session::end_batch() {
+  PELTA_CHECK_MSG(in_batch_, "enclave_session batch not open");
+  in_batch_ = false;
+  batch_charge charge;
+  charge.enclave_ns = enclave_->statistics().simulated_ns - ns_mark_;
+  charge.hotcalls = server_.statistics().calls - calls_mark_;
+  charge.stores = enclave_->statistics().stores - stores_mark_;
+  charge.bytes_in = enclave_->statistics().bytes_in - bytes_mark_;
+
+  ++totals_.batches;
+  totals_.hotcalls += charge.hotcalls;
+  totals_.stores += charge.stores;
+  totals_.bytes_in += charge.bytes_in;
+  totals_.enclave_ns += charge.enclave_ns;
+  return charge;
+}
+
+}  // namespace pelta::serve

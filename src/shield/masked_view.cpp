@@ -64,4 +64,9 @@ const tensor& masked_view::clear_adjoint() const {
   return graph_->adjoint(clear_frontier_node());
 }
 
+masked_view shield_batch(const ad::graph& g, const std::vector<std::string>& frontier_tags,
+                         tee::secure_store& sink, const std::string& key_prefix) {
+  return masked_view{g, pelta_shield_tags(g, frontier_tags, sink, key_prefix)};
+}
+
 }  // namespace pelta::shield

@@ -45,4 +45,13 @@ private:
   std::vector<bool> masked_;  // by node id
 };
 
+/// Batched shielding entry point: run Algorithm 1 ONCE over a (possibly
+/// batched, [B,...]) forward graph and return the single masked view that
+/// serves every sample in the batch. Shapes of the masked quantities scale
+/// with B but the graph structure — and therefore the number of stores the
+/// enclave boundary pays — does not; this is what lets the serving runtime
+/// charge TEE transition costs per batch instead of per request.
+masked_view shield_batch(const ad::graph& g, const std::vector<std::string>& frontier_tags,
+                         tee::secure_store& sink, const std::string& key_prefix = "");
+
 }  // namespace pelta::shield

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tee/secure_store.h"
+
 namespace pelta::shield {
 
 bool shield_report::is_masked(ad::node_id id) const {
@@ -27,10 +29,10 @@ void mask_side(const ad::graph& g, ad::node_id id, std::vector<bool>& side_maske
   for (ad::node_id p : n.parents) mask_side(g, p, side_masked);
 }
 
-}  // namespace
-
-shield_report pelta_shield(const ad::graph& g, const std::vector<ad::node_id>& frontier,
-                           tee::enclave* enclave, const std::string& key_prefix) {
+// Algorithm 1 core: every masked tensor leaves through `sink` (null = pure
+// accounting). The public overloads below pick the boundary mechanism.
+shield_report shield_into(const ad::graph& g, const std::vector<ad::node_id>& frontier,
+                          tee::secure_store* sink, const std::string& key_prefix) {
   PELTA_CHECK_MSG(!frontier.empty(), "PELTA Select returned an empty frontier");
   const std::int64_t n = g.node_count();
   std::vector<bool> main_masked(static_cast<std::size_t>(n), false);
@@ -88,17 +90,17 @@ shield_report pelta_shield(const ad::graph& g, const std::vector<ad::node_id>& f
   for (ad::node_id id : report.masked_transforms) {
     const ad::node& node = g.at(id);
     report.bytes_activations += node.value.byte_size();
-    if (enclave != nullptr) enclave->store(key("u", id), node.value);
+    if (sink != nullptr) sink->store(key("u", id), node.value);
     if (node.has_adjoint) {
       report.bytes_gradients += node.adjoint.byte_size();
-      if (enclave != nullptr) enclave->store(key("du", id), node.adjoint);
+      if (sink != nullptr) sink->store(key("du", id), node.adjoint);
     }
   }
   if (report.masked_input != ad::invalid_node) {
     const ad::node& input = g.at(report.masked_input);
     if (input.has_adjoint) {  // dL/dx — the attack's target quantity
       report.bytes_gradients += input.adjoint.byte_size();
-      if (enclave != nullptr) enclave->store(key("du", report.masked_input), input.adjoint);
+      if (sink != nullptr) sink->store(key("du", report.masked_input), input.adjoint);
     }
   }
   for (ad::node_id id : report.masked_side) {
@@ -106,10 +108,10 @@ shield_report pelta_shield(const ad::graph& g, const std::vector<ad::node_id>& f
     report.bytes_parameters += node.value.byte_size();
     if (node.kind == ad::node_kind::parameter)
       report.masked_param_scalars += node.value.numel();
-    if (enclave != nullptr) enclave->store(key("p", id), node.value);
+    if (sink != nullptr) sink->store(key("p", id), node.value);
     if (node.has_adjoint) {
       report.bytes_gradients += node.adjoint.byte_size();
-      if (enclave != nullptr) enclave->store(key("dp", id), node.adjoint);
+      if (sink != nullptr) sink->store(key("dp", id), node.adjoint);
     }
   }
 
@@ -118,15 +120,39 @@ shield_report pelta_shield(const ad::graph& g, const std::vector<ad::node_id>& f
   return report;
 }
 
-shield_report pelta_shield_tags(const ad::graph& g, const std::vector<std::string>& frontier_tags,
-                                tee::enclave* enclave, const std::string& key_prefix) {
+std::vector<ad::node_id> resolve_frontier(const ad::graph& g,
+                                          const std::vector<std::string>& frontier_tags) {
   std::vector<ad::node_id> frontier;
   for (const std::string& tag : frontier_tags) {
     const ad::node_id id = g.find_tag(tag);
     PELTA_CHECK_MSG(id != ad::invalid_node, "frontier tag '" << tag << "' not found in graph");
     frontier.push_back(id);
   }
-  return pelta_shield(g, frontier, enclave, key_prefix);
+  return frontier;
+}
+
+}  // namespace
+
+shield_report pelta_shield(const ad::graph& g, const std::vector<ad::node_id>& frontier,
+                           tee::enclave* enclave, const std::string& key_prefix) {
+  if (enclave == nullptr) return shield_into(g, frontier, nullptr, key_prefix);
+  tee::ecall_store port{*enclave};
+  return shield_into(g, frontier, &port, key_prefix);
+}
+
+shield_report pelta_shield(const ad::graph& g, const std::vector<ad::node_id>& frontier,
+                           tee::secure_store& sink, const std::string& key_prefix) {
+  return shield_into(g, frontier, &sink, key_prefix);
+}
+
+shield_report pelta_shield_tags(const ad::graph& g, const std::vector<std::string>& frontier_tags,
+                                tee::enclave* enclave, const std::string& key_prefix) {
+  return pelta_shield(g, resolve_frontier(g, frontier_tags), enclave, key_prefix);
+}
+
+shield_report pelta_shield_tags(const ad::graph& g, const std::vector<std::string>& frontier_tags,
+                                tee::secure_store& sink, const std::string& key_prefix) {
+  return pelta_shield(g, resolve_frontier(g, frontier_tags), sink, key_prefix);
 }
 
 }  // namespace pelta::shield

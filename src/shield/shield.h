@@ -23,6 +23,10 @@
 #include "autodiff/graph.h"
 #include "tee/enclave.h"
 
+namespace pelta::tee {
+class secure_store;  // tee/secure_store.h — write port used by batch serving
+}
+
 namespace pelta::shield {
 
 /// Enclave-resident local Jacobian J_{j→i} (symbolic record; the dense
@@ -57,11 +61,23 @@ struct shield_report {
 /// Run Algorithm 1 from frontier node ids. When `enclave` is non-null the
 /// masked tensors are stored into it under `key_prefix` (idempotent keys, so
 /// iterated attacks model the paper's worst case of an unflushed enclave).
+/// Direct enclave stores are ecall-style: every one pays a world-switch
+/// pair. Batch-serving callers pass a tee::secure_store instead (below) to
+/// route the same stores through a switchless hot-call session.
 shield_report pelta_shield(const ad::graph& g, const std::vector<ad::node_id>& frontier,
                            tee::enclave* enclave, const std::string& key_prefix = "");
 
 /// Convenience: resolve a model's frontier tags first.
 shield_report pelta_shield_tags(const ad::graph& g, const std::vector<std::string>& frontier_tags,
                                 tee::enclave* enclave, const std::string& key_prefix = "");
+
+/// Same walk, but masked tensors leave through an abstract write port
+/// (tee/secure_store.h): ecall_store reproduces the per-operation charging
+/// above, hotcall_store amortizes a whole batch under one enclave session.
+/// (For an accounting-only run pass `enclave = nullptr` above.)
+shield_report pelta_shield(const ad::graph& g, const std::vector<ad::node_id>& frontier,
+                           tee::secure_store& sink, const std::string& key_prefix = "");
+shield_report pelta_shield_tags(const ad::graph& g, const std::vector<std::string>& frontier_tags,
+                                tee::secure_store& sink, const std::string& key_prefix = "");
 
 }  // namespace pelta::shield

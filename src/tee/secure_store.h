@@ -1,0 +1,55 @@
+// Write ports into secure memory — the session/hot-call accounting hook the
+// serving runtime batches TEE costs through.
+//
+// The shield (shield/shield.h) stores every masked tensor through this
+// interface instead of a concrete enclave, so the caller chooses the
+// transition mechanism and therefore the cost model:
+//
+//   ecall_store   — per-operation stores; each one issued from the normal
+//                   world pays the two world switches of an ecall/SMC-style
+//                   transition (the per-request deployment of core/pelta.h).
+//   hotcall_store — stores routed through a running hotcall_server whose
+//                   worker stays inside the enclave; a store costs one
+//                   ≈0.6 µs switchless handoff (Weisse et al.). The serving
+//                   runtime (serve/session.h) keeps one such session open
+//                   per enclave so shield traffic is charged per *batch*,
+//                   not per request.
+#pragma once
+
+#include "tee/enclave.h"
+#include "tee/hotcalls.h"
+
+namespace pelta::tee {
+
+/// Abstract write port: something that can place a named tensor in secure
+/// memory. Implementations decide how the boundary crossing is paid for.
+class secure_store {
+public:
+  virtual ~secure_store() = default;
+  virtual void store(const std::string& key, const tensor& value) = 0;
+};
+
+/// Direct enclave stores (ecall-style): two world switches plus per-byte
+/// marshalling are charged for every operation issued from the normal world.
+class ecall_store final : public secure_store {
+public:
+  explicit ecall_store(enclave& e) : enclave_{&e} {}
+  void store(const std::string& key, const tensor& value) override { enclave_->store(key, value); }
+
+private:
+  enclave* enclave_;
+};
+
+/// Switchless stores through an attached hotcall_server: the enclave stays
+/// in the secure world for the server's lifetime and each store costs one
+/// polled handoff instead of a switch pair.
+class hotcall_store final : public secure_store {
+public:
+  explicit hotcall_store(hotcall_server& server) : server_{&server} {}
+  void store(const std::string& key, const tensor& value) override { server_->store(key, value); }
+
+private:
+  hotcall_server* server_;
+};
+
+}  // namespace pelta::tee
