@@ -5,10 +5,13 @@
 //   PELTA_SAMPLES=200 PELTA_EPOCHS=10 PELTA_TRAIN_PER_CLASS=200 ./bench_...
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "models/trainer.h"
@@ -22,6 +25,20 @@ inline std::int64_t env_int(const char* name, std::int64_t fallback) {
     if (parsed > 0) return parsed;
   }
   return fallback;
+}
+
+/// Nearest-rank percentile: the smallest sample value with at least a
+/// fraction `p` of the sample at or below it — rank ceil(p*n), 1-based.
+/// The floored `p*(n-1)` index some dashboards hand-roll understates the
+/// tail (over 200 samples it reads "p95" off the 94.7th percentile);
+/// every bench/example that reports percentiles must go through here.
+inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(std::max(p, 0.0), 1.0);
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(clamped * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
 }
 
 /// Scale knobs shared by the evaluation benches. The paper uses 1000

@@ -4,11 +4,11 @@
 // prediction and a latency breakdown (queue / batch / enclave / compute).
 //
 //   $ ./examples/serving_demo
-#include <algorithm>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "core/pelta.h"
 #include "core/table.h"
 #include "data/dataset.h"
@@ -19,13 +19,6 @@
 namespace {
 
 using namespace pelta;
-
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const std::size_t at = static_cast<std::size_t>(p * static_cast<double>(values.size() - 1));
-  return values[at];
-}
 
 }  // namespace
 
@@ -115,8 +108,8 @@ int main() {
   t.set_header({"latency stage", "p50 ms", "p95 ms"});
   const auto row = [&](const char* name, std::vector<double>& v) {
     char p50[32], p95[32];
-    std::snprintf(p50, sizeof p50, "%.3f", percentile(v, 0.5));
-    std::snprintf(p95, sizeof p95, "%.3f", percentile(v, 0.95));
+    std::snprintf(p50, sizeof p50, "%.3f", bench::percentile(v, 0.5));
+    std::snprintf(p95, sizeof p95, "%.3f", bench::percentile(v, 0.95));
     t.add_row({name, p50, p95});
   };
   row("queue (coalescing)", queue_ms);

@@ -9,20 +9,29 @@
 namespace pelta::serve {
 
 batch_plan plan_batches(const std::vector<double>& submit_ns, const batch_policy& policy) {
+  return plan_batches(submit_ns, {}, policy);
+}
+
+batch_plan plan_batches(const std::vector<double>& submit_ns,
+                        const std::vector<std::int64_t>& ids, const batch_policy& policy) {
   PELTA_CHECK_MSG(policy.max_batch >= 1, "batch_policy.max_batch must be >= 1");
   PELTA_CHECK_MSG(policy.max_delay_ns >= 0.0, "batch_policy.max_delay_ns must be >= 0");
   const std::size_t n = submit_ns.size();
+  PELTA_CHECK_MSG(ids.empty() || ids.size() == n,
+                  "plan_batches needs one id per arrival stamp (or none)");
   // A NaN stamp would break the sort's strict weak ordering (UB) and an
   // infinite one the deadline arithmetic — reject both before sorting.
   for (std::size_t i = 0; i < n; ++i)
     PELTA_CHECK_MSG(std::isfinite(submit_ns[i]),
                     "request " << i << " has a non-finite submit_ns");
 
-  // Canonical FIFO order: by arrival stamp, ties by index.
+  // Canonical FIFO order: by arrival stamp; equal stamps by id when ids
+  // are given (matching canonicalize()), and by index as the last resort.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return submit_ns[a] < submit_ns[b];
+    if (submit_ns[a] != submit_ns[b]) return submit_ns[a] < submit_ns[b];
+    return !ids.empty() && ids[a] < ids[b];
   });
 
   batch_plan plan;

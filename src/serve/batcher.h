@@ -6,8 +6,10 @@
 // are bit-reproducible and the property tests can enumerate the policy's
 // boundary behaviour exactly.
 //
-// Policy semantics, in arrival order (ties by request index — FIFO, no
-// request ever overtakes an earlier one):
+// Policy semantics, in arrival order (equal stamps tie-break by request id
+// when the planner is given ids — server::run's path, the same order
+// canonicalize() uses — else by index; FIFO either way, no request ever
+// overtakes an earlier one):
 //   * a batch OPENS at the arrival of the first request it admits;
 //   * it admits arrivals while it holds fewer than max_batch requests and
 //     the arrival is within open + max_delay_ns (boundary inclusive);
@@ -43,6 +45,13 @@ struct batch_plan {
 /// Plan the batches a stream of arrivals forms under `policy`. `submit_ns`
 /// need not be sorted; requests are processed by (submit_ns, index).
 batch_plan plan_batches(const std::vector<double>& submit_ns, const batch_policy& policy);
+
+/// Same, but equal-stamp ties break by request id (then by index for
+/// duplicate ids) — the SAME order canonicalize() establishes, so a
+/// caller-supplied workload batches identically to a canonicalized drain
+/// no matter how producers interleaved it. server::run uses this form.
+batch_plan plan_batches(const std::vector<double>& submit_ns,
+                        const std::vector<std::int64_t>& ids, const batch_policy& policy);
 
 /// Seeded open-loop arrival process: `n` stamps with exponential
 /// inter-arrival gaps of mean `mean_gap_ns` (a Poisson stream, the standard

@@ -16,18 +16,22 @@ std::vector<classify_request> canonicalize(std::vector<classify_request> request
   return requests;
 }
 
-void request_queue::push(classify_request request) {
+bool request_queue::push(classify_request request) {
   // Reject non-finite stamps at ingress: canonicalize() sorts by submit_ns
   // and a NaN would void the comparator's strict weak ordering.
   PELTA_CHECK_MSG(std::isfinite(request.submit_ns),
                   "request " << request.id << " has a non-finite submit_ns");
   {
     const std::scoped_lock lock{mutex_};
-    PELTA_CHECK_MSG(!closed_, "request_queue is closed");
+    if (closed_) {
+      ++rejected_;
+      return false;
+    }
     pending_.push_back(std::move(request));
     ++total_pushed_;
   }
   ready_.notify_one();
+  return true;
 }
 
 std::vector<classify_request> request_queue::drain() {
@@ -66,6 +70,11 @@ std::int64_t request_queue::pending() const {
 std::int64_t request_queue::total_pushed() const {
   const std::scoped_lock lock{mutex_};
   return total_pushed_;
+}
+
+std::int64_t request_queue::rejected() const {
+  const std::scoped_lock lock{mutex_};
+  return rejected_;
 }
 
 }  // namespace pelta::serve

@@ -18,9 +18,11 @@ namespace pelta::serve {
 
 class request_queue {
 public:
-  /// Enqueue one request. Throws after close() — a closed queue accepts no
-  /// new work (drain-on-shutdown semantics).
-  void push(classify_request request);
+  /// Enqueue one request. Returns false — and counts the request in
+  /// rejected() — when the queue is already closed: a producer racing
+  /// shutdown gets a graceful, observable rejection, never an abort.
+  /// Non-finite submit stamps still throw (a caller bug, not a race).
+  bool push(classify_request request);
 
   /// Remove and return every queued request (possibly empty). Never blocks.
   std::vector<classify_request> drain();
@@ -29,19 +31,21 @@ public:
   /// then drain. Returns an empty vector only when closed and empty.
   std::vector<classify_request> wait_drain();
 
-  /// Close the queue: pending requests stay drainable, new pushes throw,
-  /// and blocked wait_drain() calls wake up.
+  /// Close the queue: pending requests stay drainable, new pushes are
+  /// rejected (push returns false), and blocked wait_drain() calls wake up.
   void close();
 
   bool closed() const;
   std::int64_t pending() const;
-  std::int64_t total_pushed() const;  ///< lifetime counter
+  std::int64_t total_pushed() const;  ///< lifetime counter of accepted pushes
+  std::int64_t rejected() const;      ///< pushes refused after close()
 
 private:
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::vector<classify_request> pending_;
   std::int64_t total_pushed_ = 0;
+  std::int64_t rejected_ = 0;
   bool closed_ = false;
 };
 

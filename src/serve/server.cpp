@@ -46,6 +46,51 @@ tensor gather_batch(const std::vector<classify_request>& requests,
   return out;
 }
 
+// Scatter one executed batch into the per-request result rows. Writes only
+// the rows `batch.members` owns into the pre-sized results vector, so the
+// pipelined executor can run scatters of different batches concurrently;
+// the sequential executor calls it inline — one code path, one bit layout.
+void scatter_batch(std::vector<classify_result>& results,
+                   const std::vector<classify_request>& requests, const planned_batch& batch,
+                   std::size_t batch_index, const tensor& logits,
+                   const shielded_backend::batch_stats& stats,
+                   const enclave_session::batch_charge& charge, double exec_start_ns,
+                   double compute_ns, double finish_ns) {
+  const std::int64_t classes = logits.size(1);
+  const tensor preds = ops::argmax_lastdim(logits);
+  for (std::size_t r = 0; r < batch.members.size(); ++r) {
+    const std::size_t m = batch.members[r];
+    classify_result& out = results[m];
+    out.request_id = requests[m].id;
+    out.predicted = static_cast<std::int64_t>(preds[static_cast<std::int64_t>(r)]);
+    out.logits = tensor{shape_t{classes}};
+    std::copy(logits.data().begin() + static_cast<std::int64_t>(r) * classes,
+              logits.data().begin() + static_cast<std::int64_t>(r + 1) * classes,
+              out.logits.data().begin());
+    out.batch_index = static_cast<std::int64_t>(batch_index);
+    out.batch_size = static_cast<std::int64_t>(batch.members.size());
+    out.masked_transforms = stats.masked_transforms;
+    out.shield_bytes_batch = stats.shield_bytes;
+    out.submit_ns = requests[m].submit_ns;
+    out.finish_ns = finish_ns;
+    out.latency.queue_ns = batch.close_ns - requests[m].submit_ns;
+    out.latency.batch_ns = exec_start_ns - batch.close_ns;
+    out.latency.enclave_ns = charge.enclave_ns;
+    out.latency.compute_ns = compute_ns;
+  }
+}
+
+serving_report make_report_header(const std::vector<classify_request>& requests) {
+  serving_report report;
+  report.requests = static_cast<std::int64_t>(requests.size());
+  report.results.resize(requests.size());
+  if (requests.empty()) return report;
+  report.first_submit_ns = requests.front().submit_ns;
+  for (const classify_request& r : requests)
+    report.first_submit_ns = std::min(report.first_submit_ns, r.submit_ns);
+  return report;
+}
+
 }  // namespace
 
 // ---- backends ---------------------------------------------------------------
@@ -130,9 +175,16 @@ server::server(shielded_backend& backend, tee::enclave& enclave, server_config c
     : backend_{&backend}, config_{std::move(config)}, session_{enclave} {}
 
 serving_report server::run(const std::vector<classify_request>& workload) {
+  // Plan with the id tie-break so equal-submit_ns requests batch in the
+  // same canonical (submit_ns, id) order canonicalize() establishes —
+  // never in the caller's producer-interleaving order.
   std::vector<double> submit_ns(workload.size());
-  for (std::size_t i = 0; i < workload.size(); ++i) submit_ns[i] = workload[i].submit_ns;
-  return execute(workload, plan_batches(submit_ns, config_.policy));
+  std::vector<std::int64_t> ids(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    submit_ns[i] = workload[i].submit_ns;
+    ids[i] = workload[i].id;
+  }
+  return execute(workload, plan_batches(submit_ns, ids, config_.policy));
 }
 
 serving_report server::drain() { return run(canonicalize(queue_.drain())); }
@@ -141,14 +193,17 @@ serving_report server::drain_wait() { return run(canonicalize(queue_.wait_drain(
 
 serving_report server::execute(const std::vector<classify_request>& requests,
                                const batch_plan& plan) {
-  serving_report report;
-  report.requests = static_cast<std::int64_t>(requests.size());
-  report.results.resize(requests.size());
-  if (requests.empty()) return report;
+  std::int64_t depth = config_.pipeline_depth;
+  if (depth <= 0)
+    depth = std::min<std::int64_t>(4, std::max<std::int64_t>(2, parallel_thread_count()));
+  if (depth <= 1 || plan.batches.size() <= 1) return execute_sequential(requests, plan);
+  return execute_pipelined(requests, plan, depth);
+}
 
-  report.first_submit_ns = requests.front().submit_ns;
-  for (const classify_request& r : requests)
-    report.first_submit_ns = std::min(report.first_submit_ns, r.submit_ns);
+serving_report server::execute_sequential(const std::vector<classify_request>& requests,
+                                          const batch_plan& plan) {
+  serving_report report = make_report_header(requests);
+  if (requests.empty()) return report;
 
   const std::int64_t classes = backend_->num_classes();
   double busy_until_ns = 0.0;
@@ -200,28 +255,168 @@ serving_report server::execute(const std::vector<classify_request>& requests,
     rec.hotcalls = charge.hotcalls;
     report.batches.push_back(std::move(rec));
 
-    // Scatter per-request results.
-    const tensor preds = ops::argmax_lastdim(logits);
-    for (std::size_t r = 0; r < batch.members.size(); ++r) {
-      const std::size_t m = batch.members[r];
-      classify_result& out = report.results[m];
-      out.request_id = requests[m].id;
-      out.predicted = static_cast<std::int64_t>(preds[static_cast<std::int64_t>(r)]);
-      out.logits = tensor{shape_t{classes}};
-      std::copy(logits.data().begin() + static_cast<std::int64_t>(r) * classes,
-                logits.data().begin() + static_cast<std::int64_t>(r + 1) * classes,
-                out.logits.data().begin());
-      out.batch_index = static_cast<std::int64_t>(b);
-      out.batch_size = size;
-      out.masked_transforms = stats.masked_transforms;
-      out.shield_bytes_batch = stats.shield_bytes;
-      out.submit_ns = requests[m].submit_ns;
-      out.finish_ns = finish_ns;
-      out.latency.queue_ns = batch.close_ns - requests[m].submit_ns;
-      out.latency.batch_ns = exec_start_ns - batch.close_ns;
-      out.latency.enclave_ns = charge.enclave_ns;
-      out.latency.compute_ns = compute_ns;
+    scatter_batch(report.results, requests, batch, b, logits, stats, charge, exec_start_ns,
+                  compute_ns, finish_ns);
+  }
+  return report;
+}
+
+serving_report server::execute_pipelined(const std::vector<classify_request>& requests,
+                                         const batch_plan& plan, std::int64_t depth) {
+  serving_report report = make_report_header(requests);
+  if (requests.empty()) return report;
+
+  const std::int64_t classes = backend_->num_classes();
+  double busy_until_ns = 0.0;
+  const std::size_t total = plan.batches.size();
+  report.batches.reserve(total);
+
+  // One slot per in-flight batch. `depth` gathers run ahead of the
+  // serialized enclave stage; the +1 spare lets the slot's previous
+  // occupant finish its scatter while the next gather is already needed.
+  struct slot {
+    std::size_t batch = 0;
+    task_future gather;
+    task_future scatter;
+    tensor model_batch;
+    tensor logits;
+    std::vector<std::int64_t> ids;
+    shielded_backend::batch_stats stats;
+    enclave_session::batch_charge charge;
+    double exec_start_ns = 0.0;
+    double compute_ns = 0.0;
+    double finish_ns = 0.0;
+  };
+  std::vector<slot> ring(std::min(static_cast<std::size_t>(depth) + 1, total));
+
+  // A failed stage stops the pipeline; after every in-flight task has
+  // retired, the error the strictly sequential chain would have hit first
+  // — smallest batch, earliest stage — is the one rethrown.
+  enum : int { gather_stage = 0, enclave_stage = 1, scatter_stage = 2 };
+  struct failure {
+    std::size_t batch;
+    int stage;
+    std::exception_ptr error;
+  };
+  std::vector<failure> failures;
+  const auto note = [&failures](std::size_t batch, int stage) {
+    failures.push_back({batch, stage, std::current_exception()});
+  };
+
+  const auto submit_gather = [&](std::size_t b) {
+    slot& s = ring[b % ring.size()];
+    s.batch = b;
+    s.gather = submit_task([this, &requests, &plan, &s] {
+      s.model_batch = gather_batch(requests, plan.batches[s.batch].members, config_);
+    });
+  };
+  std::size_t next_gather = std::min(static_cast<std::size_t>(depth), total);
+  for (std::size_t b = 0; b < next_gather; ++b) submit_gather(b);
+
+  for (std::size_t b = 0; b < total && failures.empty(); ++b) {
+    slot& s = ring[b % ring.size()];
+    const planned_batch& batch = plan.batches[b];
+    const std::int64_t size = static_cast<std::int64_t>(batch.members.size());
+    try {
+      s.gather.get();
+    } catch (...) {
+      note(b, gather_stage);
+      break;
     }
+
+    s.ids.clear();
+    s.ids.reserve(batch.members.size());
+    for (std::size_t m : batch.members) s.ids.push_back(requests[m].id);
+
+    // The serialized stage: the session brackets must close even when the
+    // backend throws mid-pipeline, or the next batch (or the next run)
+    // would wedge on a dangling begin_batch.
+    session_.begin_batch();
+    try {
+      s.logits = backend_->run_batch(s.model_batch, s.ids, session_.port(), &s.stats);
+    } catch (...) {
+      session_.end_batch();
+      note(b, enclave_stage);
+      break;
+    }
+    s.charge = session_.end_batch();
+    try {
+      PELTA_CHECK_MSG(s.logits.ndim() == 2 && s.logits.size(0) == size &&
+                          s.logits.size(1) == classes,
+                      "backend returned logits " << to_string(s.logits.shape())
+                                                 << " for batch of " << size);
+    } catch (...) {
+      note(b, enclave_stage);
+      break;
+    }
+
+    // Commit strictly in batch order: the simulated single-pipeline clock,
+    // the session accounting and the batch records are identical to the
+    // sequential chain no matter how the wall stages overlapped.
+    s.exec_start_ns = std::max(batch.close_ns, busy_until_ns);
+    s.compute_ns =
+        config_.batch_setup_ns + config_.compute_ns_per_sample * static_cast<double>(size);
+    s.finish_ns = s.exec_start_ns + s.charge.enclave_ns + s.compute_ns;
+    busy_until_ns = s.finish_ns;
+    report.last_finish_ns = s.finish_ns;
+    report.enclave_ns += s.charge.enclave_ns;
+    report.hotcalls += s.charge.hotcalls;
+
+    batch_record rec;
+    rec.request_ids = s.ids;
+    rec.close_ns = batch.close_ns;
+    rec.exec_start_ns = s.exec_start_ns;
+    rec.enclave_ns = s.charge.enclave_ns;
+    rec.compute_ns = s.compute_ns;
+    rec.hotcalls = s.charge.hotcalls;
+    report.batches.push_back(std::move(rec));
+
+    s.scatter = submit_task([&report, &requests, &plan, &s] {
+      scatter_batch(report.results, requests, plan.batches[s.batch], s.batch, s.logits,
+                    s.stats, s.charge, s.exec_start_ns, s.compute_ns, s.finish_ns);
+    });
+
+    if (next_gather < total) {
+      slot& n = ring[next_gather % ring.size()];
+      // The slot's previous batch left the enclave long ago; only its
+      // scatter may still own the slot's tensors. Wait it out, then reuse.
+      if (n.scatter.valid()) {
+        try {
+          n.scatter.get();
+        } catch (...) {
+          note(n.batch, scatter_stage);
+          break;
+        }
+      }
+      submit_gather(next_gather++);
+    }
+  }
+
+  // Join every task still in flight — they touch slot and report memory —
+  // before the report (or an exception) leaves this frame.
+  for (slot& s : ring) {
+    if (s.gather.valid()) {
+      try {
+        s.gather.get();
+      } catch (...) {
+        note(s.batch, gather_stage);
+      }
+    }
+    if (s.scatter.valid()) {
+      try {
+        s.scatter.get();
+      } catch (...) {
+        note(s.batch, scatter_stage);
+      }
+    }
+  }
+  if (!failures.empty()) {
+    const auto first = std::min_element(failures.begin(), failures.end(),
+                                        [](const failure& a, const failure& b) {
+                                          return a.batch != b.batch ? a.batch < b.batch
+                                                                    : a.stage < b.stage;
+                                        });
+    std::rethrow_exception(first->error);
   }
   return report;
 }

@@ -13,7 +13,17 @@
 //     bit-identical for every PELTA_THREADS value, enforced by
 //     tests/test_serve.cpp;
 //   * WALL-CLOCK throughput is measured outside, by bench/bench_serving,
-//     which gates batched >= 3x serial per-request throughput.
+//     which gates batched >= serial wall throughput and >= 3x simulated.
+//
+// Wall execution is PIPELINED: up to `pipeline_depth` batches are in
+// flight at once, with gather/preprocess and scatter/argmax overlapping
+// across batches as pool tasks while the enclave forward+shield stage
+// stays serialized in batch order through the single enclave_session (it
+// is stateful — begin_batch/end_batch brackets never interleave). Results
+// are committed strictly in batch order (the replay-in-order rule
+// fl::federation::run_round also follows), so every report field is
+// bit-identical to the strictly sequential chain — only wall-clock
+// changes; the simulated-clock model is untouched.
 //
 // Determinism contract: batches execute in planned order, each request's
 // logits row is bit-identical to a batch-1 forward of that sample, work
@@ -104,6 +114,14 @@ struct server_config {
   /// sample streams fork from the request id under `chain_seed`.
   const defenses::preprocessor_chain* chain = nullptr;
   std::uint64_t chain_seed = 0x5e17e;
+
+  /// Max batches in flight in the wall-clock pipelined executor: gathers
+  /// run up to this many batches ahead of the serialized enclave stage
+  /// (bounding the gathered-tensor memory), scatters trail behind it.
+  /// 1 = the strictly sequential gather -> enclave -> scatter chain;
+  /// 0 picks an automatic depth from the thread count. Every depth yields
+  /// a bit-identical serving_report (enforced by tests/test_serve.cpp).
+  std::int64_t pipeline_depth = 0;
 };
 
 /// What one executed batch did, on the simulated clock.
@@ -161,6 +179,10 @@ public:
 private:
   serving_report execute(const std::vector<classify_request>& requests,
                          const batch_plan& plan);
+  serving_report execute_sequential(const std::vector<classify_request>& requests,
+                                    const batch_plan& plan);
+  serving_report execute_pipelined(const std::vector<classify_request>& requests,
+                                   const batch_plan& plan, std::int64_t depth);
 
   shielded_backend* backend_;
   server_config config_;

@@ -43,6 +43,50 @@ struct pool_job {
 
 thread_local const pool_job* tl_current_job = nullptr;
 
+}  // namespace
+
+namespace detail {
+
+// Shared state of one submitted task. `claimed` is guarded by the pool
+// mutex (claim hand-off between workers and a stealing get()); `done` and
+// `error` by the task's own mutex (completion signalling).
+struct task_state {
+  std::function<void()> body;
+  std::exception_ptr error;
+  std::mutex mutex;
+  std::condition_variable finished;
+  bool claimed = false;
+  bool done = false;
+};
+
+}  // namespace detail
+
+namespace {
+
+// Execute a task body on the calling thread. Tasks count as parallel
+// regions (nested loops run inline, one thread per task) but belong to no
+// sweep: a cancelled enclosing parallel_for must not abort an independent
+// task that happens to run on the same worker.
+void run_task(detail::task_state& task) {
+  const pool_job* enclosing = tl_current_job;
+  tl_current_job = nullptr;
+  ++tl_region_depth;
+  std::exception_ptr thrown;
+  try {
+    task.body();
+  } catch (...) {
+    thrown = std::current_exception();
+  }
+  --tl_region_depth;
+  tl_current_job = enclosing;
+  {
+    const std::lock_guard<std::mutex> lock{task.mutex};
+    task.error = thrown;
+    task.done = true;
+  }
+  task.finished.notify_all();
+}
+
 class thread_pool {
 public:
   static thread_pool& instance() {
@@ -64,6 +108,33 @@ public:
     // Workers release the mutex only while a claimed chunk is in flight, so
     // finished() observed under the lock implies every worker has detached.
     jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), &job), jobs_.end());
+  }
+
+  /// Enqueue one task for any idle worker.
+  void submit(std::shared_ptr<detail::task_state> task) {
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      tasks_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Wait for `task` to complete. A task still sitting in the queue is
+  /// claimed and run by the waiting thread itself, so a get() always makes
+  /// progress even when every worker is busy elsewhere.
+  void wait_task(const std::shared_ptr<detail::task_state>& task) {
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      if (!task->claimed) {
+        task->claimed = true;
+        tasks_.erase(std::find(tasks_.begin(), tasks_.end(), task));
+        lock.unlock();
+        run_task(*task);
+        return;
+      }
+    }
+    std::unique_lock<std::mutex> lock{task->mutex};
+    task->finished.wait(lock, [&task] { return task->done; });
   }
 
 private:
@@ -91,16 +162,28 @@ private:
   void worker_loop() {
     std::unique_lock<std::mutex> lock{mutex_};
     for (;;) {
+      // Fork-join sweeps first (their submitter is blocked on the join),
+      // then queued tasks; shutdown only once both are drained, so no
+      // submitted task is ever silently dropped.
       pool_job* job = claimable_job();
-      if (job == nullptr) {
-        if (shutdown_) return;
-        work_cv_.wait(lock);
+      if (job != nullptr) {
+        ++job->participants;
+        work_on(*job, lock);
+        --job->participants;
+        if (job->finished()) done_cv_.notify_all();
         continue;
       }
-      ++job->participants;
-      work_on(*job, lock);
-      --job->participants;
-      if (job->finished()) done_cv_.notify_all();
+      if (!tasks_.empty()) {
+        std::shared_ptr<detail::task_state> task = std::move(tasks_.front());
+        tasks_.pop_front();
+        task->claimed = true;
+        lock.unlock();
+        run_task(*task);
+        lock.lock();
+        continue;
+      }
+      if (shutdown_) return;
+      work_cv_.wait(lock);
     }
   }
 
@@ -138,9 +221,10 @@ private:
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
-  std::condition_variable work_cv_;  // workers: new job arrived / shutdown
+  std::condition_variable work_cv_;  // workers: new job/task arrived / shutdown
   std::condition_variable done_cv_;  // submitters: some job finished
   std::deque<pool_job*> jobs_;
+  std::deque<std::shared_ptr<detail::task_state>> tasks_;
   bool shutdown_ = false;
 };
 
@@ -220,6 +304,35 @@ void parallel_for(std::int64_t n, std::int64_t grain,
 
 void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body) {
   parallel_for(n, 0, body);
+}
+
+task_future::task_future(std::shared_ptr<detail::task_state> state)
+    : state_{std::move(state)} {}
+
+void task_future::get() {
+  PELTA_CHECK_MSG(state_ != nullptr, "task_future::get on an empty future");
+  const std::shared_ptr<detail::task_state> state = std::move(state_);
+  bool done;
+  {
+    const std::lock_guard<std::mutex> lock{state->mutex};
+    done = state->done;
+  }
+  if (!done) thread_pool::instance().wait_task(state);
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+task_future submit_task(std::function<void()> body) {
+  auto state = std::make_shared<detail::task_state>();
+  state->body = std::move(body);
+
+  int width = parallel_thread_count();
+  if (tl_thread_limit > 0) width = std::min(width, tl_thread_limit);
+  const bool inline_now = width <= 1 || tl_serial_depth > 0 || tl_region_depth > 0;
+  if (inline_now || thread_pool::instance().max_participants() <= 1)
+    run_task(*state);
+  else
+    thread_pool::instance().submit(state);
+  return task_future{std::move(state)};
 }
 
 serial_guard::serial_guard() { ++tl_serial_depth; }

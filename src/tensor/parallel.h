@@ -16,12 +16,20 @@
 //     and the exception is rethrown on the submitting thread after every
 //     in-flight chunk has retired.
 //   * PELTA_THREADS=k caps the pool (k=1 never spawns a thread).
+//   * Besides fork-join loops, the same workers run independent one-shot
+//     tasks (submit_task / task_future) — the asynchrony primitive the
+//     serving runtime's pipelined executor overlaps its stages with.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 namespace pelta {
+
+namespace detail {
+struct task_state;
+}  // namespace detail
 
 /// Number of threads parallel loops may use (pool workers + the submitter).
 /// Defaults to the hardware concurrency, overridable via the PELTA_THREADS
@@ -57,6 +65,40 @@ void parallel_for(std::int64_t n, std::int64_t grain,
 /// Per-index form with automatic grain (grain 1 whenever n is within ~8x
 /// the thread count — heavy, unevenly sized items load-balance per item).
 void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body);
+
+/// Handle to one task submitted with submit_task(). Default-constructed
+/// futures are empty; get() is one-shot (the future is empty afterwards).
+/// Abandoning a future without get() is safe — the shared state owns the
+/// body — but the body's side effects then race nothing ordering-wise, so
+/// pipelines must get() every future before reading what it wrote.
+class task_future {
+public:
+  task_future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Block until the task has run, then rethrow its exception (if any).
+  /// If the task is still queued, the calling thread claims and runs it
+  /// inline instead of waiting — waiting can never deadlock the pool.
+  void get();
+
+private:
+  friend task_future submit_task(std::function<void()> body);
+  explicit task_future(std::shared_ptr<detail::task_state> state);
+  std::shared_ptr<detail::task_state> state_;
+};
+
+/// Submit one independent task to the pool and return immediately. The
+/// composition rules match parallel_for's inline nesting: under a
+/// serial_guard, a concurrency_guard(1) cap, PELTA_THREADS=1, or when
+/// submitted from inside a pool chunk or another task, the body runs
+/// inline *at submission* (the returned future is already complete).
+/// Task bodies count as parallel regions: parallel loops they issue run
+/// inline, so a task costs one thread, deterministically — the building
+/// block the serving pipeline overlaps its gather/scatter stages with.
+/// Unlike parallel_for sweeps, tasks are independent: one task's throw
+/// cancels nothing else and surfaces only through its own future's get().
+task_future submit_task(std::function<void()> body);
 
 /// RAII: forces every parallel loop submitted by this thread (and, via
 /// inline nesting, everything below it) to run serially on this thread.

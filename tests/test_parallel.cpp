@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <set>
@@ -180,6 +181,96 @@ TEST(Pool, ConcurrentSubmittersBothComplete) {
   parallel_for(10000, [&](std::int64_t) { total.fetch_add(1); });
   other.join();
   EXPECT_EQ(total.load(), 20000);
+}
+
+// ---- one-shot tasks (submit_task / task_future) -----------------------------
+
+TEST(Tasks, EveryTaskRunsExactlyOnceAndFutureEmptiesAfterGet) {
+  std::atomic<std::int64_t> ran{0};
+  std::vector<task_future> futures;
+  for (int t = 0; t < 64; ++t)
+    futures.push_back(submit_task([&ran] { ran.fetch_add(1); }));
+  for (task_future& f : futures) {
+    ASSERT_TRUE(f.valid());
+    f.get();
+    EXPECT_FALSE(f.valid());  // get() is one-shot
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(Tasks, GetRethrowsTheBodyException) {
+  task_future ok = submit_task([] {});
+  task_future bad = submit_task([] { throw error{"task boom"}; });
+  EXPECT_NO_THROW(ok.get());
+  // One task's failure is its own: nothing else is cancelled.
+  EXPECT_THROW(bad.get(), error);
+  task_future after = submit_task([] {});
+  EXPECT_NO_THROW(after.get());
+}
+
+TEST(Tasks, TaskBodiesCountAsParallelRegions) {
+  // Inside a task, nested parallel loops must run inline (one thread per
+  // task — the same nesting rule as pool chunks) and a task must never
+  // look cancelled just because it shares a worker with some sweep.
+  std::atomic<bool> in_region{false}, nested_inline{true}, cancelled{false};
+  task_future f = submit_task([&] {
+    in_region.store(in_parallel_region());
+    cancelled.store(parallel_cancelled());
+    const std::thread::id task_thread = std::this_thread::get_id();
+    parallel_for(64, [&](std::int64_t) {
+      if (std::this_thread::get_id() != task_thread) nested_inline.store(false);
+    });
+  });
+  f.get();
+  EXPECT_TRUE(in_region.load());
+  EXPECT_TRUE(nested_inline.load());
+  EXPECT_FALSE(cancelled.load());
+}
+
+TEST(Tasks, InlineAtSubmissionUnderSerialGuardAndWidthOne) {
+  const std::thread::id main_thread = std::this_thread::get_id();
+  {
+    serial_guard guard;
+    std::thread::id ran_on;
+    task_future f = submit_task([&] { ran_on = std::this_thread::get_id(); });
+    EXPECT_EQ(ran_on, main_thread);  // already ran, on this thread
+    f.get();
+  }
+  {
+    concurrency_guard guard{1};
+    std::thread::id ran_on;
+    task_future f = submit_task([&] { ran_on = std::this_thread::get_id(); });
+    EXPECT_EQ(ran_on, main_thread);
+    f.get();
+  }
+}
+
+TEST(Tasks, GetClaimsQueuedWorkInsteadOfWaiting) {
+  // Saturate the workers with slow tasks, then submit more tasks than the
+  // pool has threads: some stay queued, and get() must claim and run them
+  // on the waiting thread rather than deadlock behind the slow ones.
+  std::atomic<std::int64_t> ran{0};
+  std::vector<task_future> futures;
+  for (int t = 0; t < 4 * parallel_thread_count(); ++t)
+    futures.push_back(submit_task([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ran.fetch_add(1);
+    }));
+  for (task_future& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 4 * parallel_thread_count());
+}
+
+TEST(Tasks, TasksComposeWithForkJoinSweeps) {
+  // A fork-join loop keeps its full semantics while independent tasks are
+  // in flight on the same pool.
+  std::atomic<std::int64_t> task_sum{0}, sweep_sum{0};
+  std::vector<task_future> futures;
+  for (int t = 0; t < 8; ++t)
+    futures.push_back(submit_task([&task_sum] { task_sum.fetch_add(1); }));
+  parallel_for(5000, [&](std::int64_t) { sweep_sum.fetch_add(1); });
+  for (task_future& f : futures) f.get();
+  EXPECT_EQ(task_sum.load(), 8);
+  EXPECT_EQ(sweep_sum.load(), 5000);
 }
 
 }  // namespace

@@ -9,13 +9,19 @@
 //     per-request latency breakdown sums to its end-to-end latency;
 //   * TEE costs are charged per batch, not per request — the hotcall
 //     session's modeled cost sits far below the ecall-style per-request
-//     loop's.
+//     loop's;
+//   * the wall-clock pipelined executor is invisible in the results — the
+//     serving_report is byte-identical to the strictly sequential chain at
+//     every pipeline depth and thread width, the enclave stage never
+//     interleaves its session brackets (including when a mid-pipeline
+//     batch throws), and a failed run leaves the server serviceable.
 // The static initializer pins PELTA_THREADS=8 (without overriding an
 // explicit environment setting) so pooled runs really cross threads even on
 // single-core hosts.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -23,6 +29,7 @@
 #include <limits>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/pelta.h"
@@ -74,6 +81,48 @@ bool bits_equal(const tensor& a, const tensor& b) {
   return a.shape() == b.shape() &&
          std::memcmp(a.data().data(), b.data().data(),
                      a.data().size() * sizeof(float)) == 0;
+}
+
+// Byte-level equality of two serving reports: every per-request field
+// (logits bits, latency breakdown, batch attribution), every batch record
+// and every session-level total. Doubles compare with == on purpose — the
+// pipelined executor must reproduce the sequential chain EXACTLY.
+void expect_reports_identical(const serve::serving_report& got,
+                              const serve::serving_report& want) {
+  EXPECT_EQ(got.requests, want.requests);
+  EXPECT_EQ(got.first_submit_ns, want.first_submit_ns);
+  EXPECT_EQ(got.last_finish_ns, want.last_finish_ns);
+  EXPECT_EQ(got.enclave_ns, want.enclave_ns);
+  EXPECT_EQ(got.hotcalls, want.hotcalls);
+  ASSERT_EQ(got.results.size(), want.results.size());
+  for (std::size_t i = 0; i < want.results.size(); ++i) {
+    const serve::classify_result& g = got.results[i];
+    const serve::classify_result& w = want.results[i];
+    ASSERT_TRUE(bits_equal(g.logits, w.logits)) << "request " << i;
+    EXPECT_EQ(g.request_id, w.request_id);
+    EXPECT_EQ(g.predicted, w.predicted);
+    EXPECT_EQ(g.batch_index, w.batch_index);
+    EXPECT_EQ(g.batch_size, w.batch_size);
+    EXPECT_EQ(g.masked_transforms, w.masked_transforms);
+    EXPECT_EQ(g.shield_bytes_batch, w.shield_bytes_batch);
+    EXPECT_EQ(g.submit_ns, w.submit_ns);
+    EXPECT_EQ(g.finish_ns, w.finish_ns);
+    EXPECT_EQ(g.latency.queue_ns, w.latency.queue_ns);
+    EXPECT_EQ(g.latency.batch_ns, w.latency.batch_ns);
+    EXPECT_EQ(g.latency.enclave_ns, w.latency.enclave_ns);
+    EXPECT_EQ(g.latency.compute_ns, w.latency.compute_ns);
+  }
+  ASSERT_EQ(got.batches.size(), want.batches.size());
+  for (std::size_t b = 0; b < want.batches.size(); ++b) {
+    const serve::batch_record& g = got.batches[b];
+    const serve::batch_record& w = want.batches[b];
+    EXPECT_EQ(g.request_ids, w.request_ids) << "batch " << b;
+    EXPECT_EQ(g.close_ns, w.close_ns);
+    EXPECT_EQ(g.exec_start_ns, w.exec_start_ns);
+    EXPECT_EQ(g.enclave_ns, w.enclave_ns);
+    EXPECT_EQ(g.compute_ns, w.compute_ns);
+    EXPECT_EQ(g.hotcalls, w.hotcalls);
+  }
 }
 
 // ---- batcher policy ---------------------------------------------------------
@@ -160,6 +209,26 @@ TEST(Batcher, RejectsNonFiniteSubmitStamps) {
   r.image = tensor::ones(shape_t{3, 16, 16});
   r.submit_ns = std::numeric_limits<double>::infinity();
   EXPECT_THROW(q.push(r), error);
+}
+
+TEST(Batcher, EqualStampsTieBreakByIdWhenIdsAreGiven) {
+  // Producer interleaving delivered ids out of order, all with one stamp.
+  const std::vector<double> arrivals{0, 0, 0, 0};
+  const std::vector<std::int64_t> ids{3, 1, 2, 0};
+  serve::batch_policy policy{2, 1e6};
+
+  // Id-aware planning (server::run's path): batches form in id order —
+  // the same order canonicalize() would have produced.
+  const serve::batch_plan by_id = serve::plan_batches(arrivals, ids, policy);
+  ASSERT_EQ(by_id.batches.size(), 2u);
+  EXPECT_EQ(by_id.batches[0].members, (std::vector<std::size_t>{3, 1}));  // ids 0, 1
+  EXPECT_EQ(by_id.batches[1].members, (std::vector<std::size_t>{2, 0}));  // ids 2, 3
+
+  // Without ids the planner falls back to vector position.
+  const serve::batch_plan by_index = serve::plan_batches(arrivals, policy);
+  ASSERT_EQ(by_index.batches.size(), 2u);
+  EXPECT_EQ(by_index.batches[0].members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(by_index.batches[1].members, (std::vector<std::size_t>{2, 3}));
 }
 
 TEST(Batcher, SingleRequestPolicyDegeneratesToSerial) {
@@ -382,7 +451,8 @@ TEST_F(ServeTest, QueueAcceptsManyProducersAndDrainsDeterministically) {
   EXPECT_EQ(static_cast<std::int64_t>(seen.size()), n);  // nothing lost, nothing duplicated
 
   srv.queue().close();
-  EXPECT_THROW(srv.queue().push(reqs.front()), error);
+  EXPECT_FALSE(srv.queue().push(reqs.front()));  // graceful rejection, not an abort
+  EXPECT_EQ(srv.queue().rejected(), 1);
 }
 
 TEST(RequestQueue, WaitDrainWakesOnPushAndOnClose) {
@@ -409,6 +479,176 @@ TEST(RequestQueue, WaitDrainWakesOnPushAndOnClose) {
   EXPECT_EQ(sizes[1], 0u);
   EXPECT_TRUE(q.closed());
   EXPECT_EQ(q.total_pushed(), 1);
+}
+
+// ---- pipelined executor -----------------------------------------------------
+
+// A backend that fails on one chosen batch — the mid-pipeline throw case.
+class flaky_backend final : public serve::shielded_backend {
+public:
+  flaky_backend(serve::shielded_backend& inner, std::int64_t fail_on_call)
+      : inner_{&inner}, fail_on_call_{fail_on_call} {}
+
+  std::int64_t num_classes() const override { return inner_->num_classes(); }
+  tensor run_batch(const tensor& images, const std::vector<std::int64_t>& ids,
+                   tee::secure_store& sink, batch_stats* stats) override {
+    if (calls_++ == fail_on_call_) throw error{"injected backend failure"};
+    return inner_->run_batch(images, ids, sink, stats);
+  }
+  std::int64_t calls() const { return calls_; }
+
+private:
+  serve::shielded_backend* inner_;
+  std::int64_t fail_on_call_;
+  std::int64_t calls_ = 0;
+};
+
+TEST_F(ServeTest, PipelinedReportBitIdenticalToSequentialExecutor) {
+  const std::int64_t n = 53;  // several full batches + a ragged tail
+  const std::vector<double> arrivals = serve::make_poisson_arrivals(n, 2e5, 21);
+  const std::vector<serve::classify_request> reqs = make_requests(n, arrivals);
+  serve::server_config cfg;
+  cfg.policy = {8, 1e6};
+
+  const auto run_with = [&](std::int64_t depth) {
+    serve::server_config c = cfg;
+    c.pipeline_depth = depth;
+    tee::enclave enclave;
+    serve::model_backend backend{model_};
+    serve::server srv{backend, enclave, c};
+    serve::serving_report report = srv.run(reqs);
+    // Session totals are part of the contract too: the serialized enclave
+    // stage must charge exactly the sequential chain's accounting.
+    EXPECT_EQ(srv.session().accumulated().batches,
+              static_cast<std::int64_t>(report.batches.size()));
+    return report;
+  };
+
+  // The strictly sequential chain is the reference...
+  const serve::serving_report sequential = run_with(1);
+  // ...and the pipelined executor must reproduce it byte-for-byte at every
+  // effective thread count (1 = all tasks inline at submission) and depth.
+  for (const int width : {1, 2, 8}) {
+    concurrency_guard guard{width};
+    for (const std::int64_t depth : {0, 3, 8}) {
+      const serve::serving_report pipelined = run_with(depth);
+      expect_reports_identical(pipelined, sequential);
+    }
+  }
+}
+
+TEST_F(ServeTest, RunBatchesDuplicateStampsInCanonicalOrder) {
+  // Four producers' pushes interleaved into one drained vector: ids out of
+  // order, every submit stamp equal. Batching must follow the canonical
+  // (submit_ns, id) order, not the producer interleaving.
+  const std::int64_t n = 12;
+  std::vector<serve::classify_request> reqs =
+      make_requests(n, std::vector<double>(static_cast<std::size_t>(n), 5.0));
+  std::vector<serve::classify_request> shuffled;
+  for (std::int64_t p = 0; p < 4; ++p)  // column-major interleaving: 0,4,8,1,5,9,...
+    for (std::int64_t i = p; i < n; i += 4)
+      shuffled.push_back(reqs[static_cast<std::size_t>(i)]);
+
+  const serve::serving_report interleaved = serve_workload(shuffled, {4, 1e6});
+  const serve::serving_report canonical =
+      serve_workload(serve::canonicalize(shuffled), {4, 1e6});
+
+  // Match results by request id: same batch attribution, same bits.
+  ASSERT_EQ(interleaved.batches.size(), canonical.batches.size());
+  for (std::size_t b = 0; b < canonical.batches.size(); ++b)
+    EXPECT_EQ(interleaved.batches[b].request_ids, canonical.batches[b].request_ids)
+        << "batch " << b << " composition depends on producer interleaving";
+  for (const serve::classify_result& got : interleaved.results) {
+    const auto want = std::find_if(
+        canonical.results.begin(), canonical.results.end(),
+        [&](const serve::classify_result& r) { return r.request_id == got.request_id; });
+    ASSERT_NE(want, canonical.results.end());
+    EXPECT_EQ(got.batch_index, want->batch_index);
+    EXPECT_EQ(got.finish_ns, want->finish_ns);
+    ASSERT_TRUE(bits_equal(got.logits, want->logits));
+  }
+}
+
+TEST_F(ServeTest, MidPipelineBackendThrowKeepsSessionAndQueueConsistent) {
+  const std::int64_t n = 40;  // 5 batches of 8; the 3rd one throws
+  const std::vector<serve::classify_request> reqs =
+      make_requests(n, std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  serve::server_config cfg;
+  cfg.policy = {8, 1e6};
+
+  const auto run_flaky = [&](std::int64_t depth) {
+    serve::server_config c = cfg;
+    c.pipeline_depth = depth;
+    tee::enclave enclave;
+    serve::model_backend inner{model_};
+    flaky_backend backend{inner, /*fail_on_call=*/2};
+    serve::server srv{backend, enclave, c};
+    EXPECT_THROW(srv.run(reqs), error);
+    // The bracket closed on the failing batch: the session is not wedged
+    // and its totals match the sequential chain's (2 clean + 1 aborted).
+    const serve::enclave_session::totals after_throw = srv.session().accumulated();
+    EXPECT_EQ(backend.calls(), 3);
+
+    // The server stays serviceable: the queue still accepts and drains,
+    // and the next run's results are bit-identical to a fresh server's.
+    for (std::int64_t i = 0; i < 10; ++i)
+      EXPECT_TRUE(srv.queue().push(reqs[static_cast<std::size_t>(i)]));
+    const serve::serving_report drained = srv.drain();
+    EXPECT_EQ(drained.requests, 10);
+    EXPECT_EQ(srv.queue().pending(), 0);
+    return std::pair{after_throw, drained};
+  };
+
+  const auto [seq_totals, seq_drained] = run_flaky(1);
+  for (const std::int64_t depth : {3, 8}) {
+    const auto [pipe_totals, pipe_drained] = run_flaky(depth);
+    EXPECT_EQ(pipe_totals.batches, seq_totals.batches);
+    EXPECT_EQ(pipe_totals.hotcalls, seq_totals.hotcalls);
+    EXPECT_EQ(pipe_totals.stores, seq_totals.stores);
+    EXPECT_EQ(pipe_totals.bytes_in, seq_totals.bytes_in);
+    EXPECT_EQ(pipe_totals.enclave_ns, seq_totals.enclave_ns);
+    expect_reports_identical(pipe_drained, seq_drained);
+  }
+}
+
+TEST(RequestQueue, PushAfterCloseIsCountedRejection) {
+  serve::request_queue q;
+  serve::classify_request r;
+  r.id = 9;
+  r.image = tensor::ones(shape_t{3, 16, 16});
+  EXPECT_TRUE(q.push(r));
+  q.close();
+  EXPECT_FALSE(q.push(r));
+  EXPECT_FALSE(q.push(r));
+  EXPECT_EQ(q.rejected(), 2);
+  EXPECT_EQ(q.total_pushed(), 1);   // rejected pushes never count as accepted
+  EXPECT_EQ(q.drain().size(), 1u);  // pending work survives the close
+}
+
+TEST(RequestQueue, ProducersRacingCloseGetRejectionsNotAborts) {
+  // Every push lands either in the queue or in the rejected counter —
+  // never an abort, never a lost request — no matter where close() cuts in.
+  constexpr std::int64_t producers = 4, per_producer = 64;
+  serve::request_queue q;
+  const tensor image = tensor::ones(shape_t{3, 16, 16});
+  std::atomic<std::int64_t> accepted{0};
+  std::vector<std::thread> fleet;
+  for (std::int64_t p = 0; p < producers; ++p)
+    fleet.emplace_back([&, p] {
+      for (std::int64_t i = 0; i < per_producer; ++i) {
+        serve::classify_request r;
+        r.id = p * per_producer + i;
+        r.image = image;
+        if (q.push(std::move(r))) accepted.fetch_add(1);
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  q.close();
+  for (std::thread& t : fleet) t.join();
+
+  EXPECT_EQ(q.total_pushed(), accepted.load());
+  EXPECT_EQ(q.rejected(), producers * per_producer - accepted.load());
+  EXPECT_EQ(static_cast<std::int64_t>(q.drain().size()), accepted.load());
 }
 
 // ---- batched entry points of the lower layers -------------------------------
