@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"  // detail::fmadd — the float-accumulation policy (R1)
+
 namespace pelta::fl {
 
 const char* aggregation_rule_name(aggregation_rule rule) {
@@ -147,14 +149,17 @@ byte_buffer aggregate_states(const byte_buffer& reference,
       if (k == 0 && config.trim_fraction > 0.0f && n >= 3) k = 1;
       PELTA_CHECK_MSG(2 * k < n, "trimming discards every update (n=" << n << ", k=" << k << ")");
       std::vector<float> column(n);
-      const float inv = 1.0f / static_cast<float>(n - 2 * k);
+      const double inv = 1.0 / static_cast<double>(n - 2 * k);
       for (std::size_t i = 0; i < out.size(); ++i)
         for (std::int64_t j = 0; j < out[i].numel(); ++j) {
           for (std::size_t c = 0; c < n; ++c) column[c] = states[c][i][j];
           std::sort(column.begin(), column.end());
-          float acc = 0.0f;
+          // Double-widened accumulator (R1): the sorted column can pair
+          // large cancelling extremes around small survivors, and a float
+          // running sum sheds the survivors' low-order bits entirely.
+          double acc = 0.0;
           for (std::size_t c = k; c < n - k; ++c) acc += column[c];
-          out[i][j] = acc * inv;
+          out[i][j] = static_cast<float>(acc * inv);
         }
       break;
     }
@@ -175,9 +180,14 @@ byte_buffer aggregate_states(const byte_buffer& reference,
         const float w = weights[c];
         const float scale =
             norms[c] > cap ? static_cast<float>(cap / norms[c]) : 1.0f;
+        // detail::fmadd (R1): a raw `out += ws * delta` leaves -ffp-contract
+        // free to fuse this accumulation on FMA targets while other paths
+        // stay mul+add, so the same aggregation could round differently per
+        // build flag; the helper pins one rounding sequence everywhere.
+        const float ws = w * scale;
         for (std::size_t i = 0; i < out.size(); ++i)
           for (std::int64_t j = 0; j < out[i].numel(); ++j)
-            out[i][j] += w * scale * (states[c][i][j] - ref[i][j]);
+            out[i][j] = ops::detail::fmadd(ws, states[c][i][j] - ref[i][j], out[i][j]);
       }
       break;
     }

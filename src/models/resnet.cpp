@@ -25,7 +25,14 @@ resnet_model::resnet_model(const resnet_config& config) : config_{config} {
     const std::int64_t out_ch = config.stage_widths[stage];
     for (std::int64_t b = 0; b < config.blocks_per_stage; ++b) {
       residual_block block;
-      block.name = "s" + std::to_string(stage) + "b" + std::to_string(b);
+      // Built by append, not operator+: `"s" + to_string(...) + "b" + ...`
+      // routes through string::insert on a prepend path GCC 12's -Wrestrict
+      // misanalyzes at -O3 (a non-overlapping copy reported as overlapping),
+      // and the append chain is what the concat would compile to anyway.
+      block.name = "s";
+      block.name += std::to_string(stage);
+      block.name += 'b';
+      block.name += std::to_string(b);
       block.stride = (stage > 0 && b == 0) ? 2 : 1;
       if (ws) {
         block.gn1 = std::make_unique<nn::groupnorm_layer>(params_, block.name + ".gn1", in_ch,

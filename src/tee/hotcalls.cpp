@@ -7,6 +7,7 @@ hotcall_server::hotcall_server(enclave& e) : enclave_{&e} {
                   "hotcall_server expects the enclave in the normal world");
   // One switch for the worker's lifetime instead of two per operation.
   enclave_->enter_secure();
+  // pelta-lint: allow(R4) enclave-resident HotCalls worker, not pool work
   worker_ = std::thread{[this] { worker_loop(); }};
 }
 

@@ -76,7 +76,10 @@ private:
   void call(request& r);
 
   enclave* enclave_;
-  std::thread worker_;
+  // The HotCalls design point: a dedicated thread parked INSIDE the enclave
+  // for the server's lifetime. It cannot be a pool task — pool workers are
+  // normal-world and a task would pin one for the whole session.
+  std::thread worker_;  // pelta-lint: allow(R4) enclave-resident HotCalls worker, not pool work
   std::atomic<slot_state> state_{slot_state::empty};
   std::atomic<bool> stop_{false};
   request* slot_ = nullptr;  // published by call(), consumed by the worker

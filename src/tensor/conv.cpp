@@ -84,6 +84,7 @@ void col2im(const float* cols, float* img, std::int64_t c, std::int64_t h, std::
           float* dst = img + (ci * h + iy) * w;
           for (std::int64_t x = 0; x < ow; ++x) {
             const std::int64_t ix = x * stride - pad + kx;
+            // pelta-lint: allow(R1) adjoint scatter-add, plain + in a fixed serial order
             if (ix >= 0 && ix < w) dst[ix] += src[y * ow + x];
           }
         }
@@ -91,6 +92,7 @@ void col2im(const float* cols, float* img, std::int64_t c, std::int64_t h, std::
 }
 
 using detail::finite_cache;
+using detail::fmadd;
 using detail::gemm_accumulate;
 using detail::gemm_accumulate_bt;
 
@@ -228,13 +230,18 @@ tensor conv2d_backward_bias(const tensor& grad_out) {
                      spatial = grad_out.size(2) * grad_out.size(3);
   tensor grad_b{shape_t{oc}};
   const float* go = grad_out.data().data();
-  for (std::int64_t n = 0; n < b; ++n)
-    for (std::int64_t o = 0; o < oc; ++o) {
-      double acc = 0.0;
+  // One double accumulator per channel across the WHOLE batch (R1): the old
+  // shape — double per image, then `grad_b[o] += float(acc)` — re-narrowed
+  // between images, so small contributions vanished between large
+  // cancelling ones across the batch.
+  for (std::int64_t o = 0; o < oc; ++o) {
+    double acc = 0.0;
+    for (std::int64_t n = 0; n < b; ++n) {
       const float* base = go + (n * oc + o) * spatial;
       for (std::int64_t s = 0; s < spatial; ++s) acc += base[s];
-      grad_b[o] += static_cast<float>(acc);
     }
+    grad_b[o] = static_cast<float>(acc);
+  }
   return grad_b;
 }
 
@@ -269,7 +276,11 @@ tensor conv2d_transpose(const tensor& input, const tensor& weight, std::int64_t 
               for (std::int64_t kx = 0; kx < kw; ++kx) {
                 const std::int64_t ox = x * stride - pad + kx;
                 if (ox < 0 || ox >= ow) continue;
-                out_row[ox] += v * wt_row[kx];
+                // detail::fmadd (R1): a raw `out += v * w` is exactly the
+                // contraction hazard the kernel policy exists for — on FMA
+                // targets -ffp-contract could fuse this path while the
+                // reference stays mul+add.
+                out_row[ox] = fmadd(v, wt_row[kx], out_row[ox]);
               }
             }
           }
@@ -319,6 +330,7 @@ tensor maxpool2x2_backward(const tensor& grad_out, const tensor& indices,
   auto ix = indices.data();
   auto gi = grad_in.data();
   for (std::size_t i = 0; i < go.size(); ++i)
+    // pelta-lint: allow(R1) argmax scatter-add, plain + in a fixed serial order
     gi[static_cast<std::size_t>(ix[i])] += go[i];
   return grad_in;
 }

@@ -1,5 +1,8 @@
 // Shared dense inner kernels for the tensor backends (ops.cpp, conv.cpp).
-// Internal to src/tensor — not part of the public surface.
+// Internal implementation surface — not part of the public API. detail::fmadd
+// doubles as the repo-wide float-accumulation policy (pelta-lint rule R1):
+// fl/aggregation routes its weighted accumulations through it too, so no
+// layer's rounding sequence can drift with -ffp-contract.
 //
 // Determinism contract (see README "Tensor backend"): for every output
 // element the k-accumulation order is ascending and expressed by the same

@@ -1,0 +1,5 @@
+// A pelta-lint comment that is not a well-formed allow() is diagnosed, not
+// silently ignored — typos must not become silent holes in the gate.
+void f() {}
+// pelta-lint: alow(R3) typo in the verb
+// pelta-lint: allow R3 missing parentheses

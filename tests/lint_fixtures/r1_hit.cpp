@@ -1,0 +1,7 @@
+// R1 hit: raw float accumulation outside fmadd / double accumulators.
+void f(const float* a, const float* b, float* out, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += a[i];          // line 4: float var +=
+  for (int i = 0; i < n; ++i) out[i] += a[i] * b[i];  // line 5: float elem += (fma hazard)
+  out[0] = acc;
+}

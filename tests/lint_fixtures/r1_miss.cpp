@@ -1,0 +1,14 @@
+// R1 miss: every accumulation shape the rule must NOT flag.
+namespace detail { inline float fmadd(float a, float b, float c) { return a * b + c; } }
+void f(const float* a, const float* b, float* out, long n) {
+  double acc = 0.0;                                   // double-widened accumulator
+  for (long i = 0; i < n; i += 4) acc += a[i];        // loop stepping + double acc
+  long count = 0;
+  count += n;                                         // integral accumulation
+  const float* p = a;
+  p += 2;                                             // pointer stepping
+  double sums[2] = {0.0, 0.0};
+  sums[0] += acc;                                     // double element
+  for (long i = 0; i < n; ++i) out[i] = detail::fmadd(a[i], b[i], out[i]);  // the policy
+  out[0] = static_cast<float>(sums[0]) + *p + static_cast<float>(count);
+}

@@ -1,0 +1,7 @@
+// R1 suppressed: trailing and own-line allows with reasons.
+void f(const float* go, const long* ix, float* gi, long n) {
+  for (long i = 0; i < n; ++i)
+    gi[ix[i]] += go[i];  // pelta-lint: allow(R1) disjoint scatter, plain + in fixed order
+  // pelta-lint: allow(R1) demo of the own-line form covering the next line
+  gi[0] += go[0];
+}

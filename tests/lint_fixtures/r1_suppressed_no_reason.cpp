@@ -1,0 +1,6 @@
+// Reason is mandatory: this allow() must NOT silence the finding, and the
+// bare suppression is itself diagnosed.
+void f(const float* a, float* out, long n) {
+  for (long i = 0; i < n; ++i)
+    out[i] += a[i];  // pelta-lint: allow(R1)
+}

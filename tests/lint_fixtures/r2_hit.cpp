@@ -1,0 +1,8 @@
+#include <vector>
+// R2 hit: heap allocation in an arena-governed hot file.
+void f(long krows, long spatial) {
+  std::vector<float> cols(krows * spatial);  // line 4: std::vector
+  cols.resize(krows);                        // line 5: resize()
+  float* raw = new float[16];                // line 6: raw new
+  delete[] raw;
+}

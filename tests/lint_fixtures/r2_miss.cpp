@@ -1,0 +1,11 @@
+// R2 miss: arena workspace, and a std::vector that only lives in prose —
+// "use std::vector here" in a comment or "new" in a string must not count.
+struct scratch_buffer { float* data(); };
+struct scratch_arena { static scratch_arena& local(); scratch_buffer take(unsigned long); };
+const char* banner() { return "brand new std::vector resize( story"; }
+void f(long krows, long spatial) {
+  scratch_buffer cols = scratch_arena::local().take(krows * spatial);  // the sanctioned path
+  // a renewed newline is fine: `news`, `renew` and `newline` are not `new`
+  long news = 0; long renew = news; (void)renew;
+  (void)cols;
+}

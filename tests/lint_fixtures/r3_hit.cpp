@@ -1,0 +1,14 @@
+#include <chrono>
+#include <cstdlib>
+#include <random>
+// R3 hit: wall clock + OS entropy in simulated-clock / seeded-RNG territory.
+long f() {
+  auto t0 = std::chrono::steady_clock::now();              // line 6
+  auto t1 = std::chrono::system_clock::now();              // line 7
+  auto t2 = std::chrono::high_resolution_clock::now();     // line 8
+  std::random_device rd;                                   // line 9
+  std::srand(rd());                                        // line 10
+  long r = std::rand();                                    // line 11
+  return r + t0.time_since_epoch().count() + t1.time_since_epoch().count() +
+         t2.time_since_epoch().count();
+}

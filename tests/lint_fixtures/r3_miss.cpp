@@ -1,0 +1,11 @@
+// R3 miss: the simulated clock is integers, and identifier boundaries must
+// hold — operand/brand/strand contain "rand" but are not rand().
+struct sim_clock { long now_ns = 0; };
+long operand(long brand) { return brand; }
+long strand(long x) { return x; }
+// talking about steady_clock in a comment is fine
+const char* doc() { return "uses steady_clock::now and rand() in prose"; }
+long f(sim_clock& clk) {
+  clk.now_ns += 10;
+  return operand(strand(clk.now_ns));
+}

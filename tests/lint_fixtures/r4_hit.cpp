@@ -1,0 +1,9 @@
+#include <future>
+#include <thread>
+// R4 hit: hand-rolled concurrency outside tensor/parallel.
+void f() {
+  std::thread t([] {});                         // line 5
+  auto fut = std::async([] { return 1; });      // line 6
+  t.join();
+  fut.get();
+}

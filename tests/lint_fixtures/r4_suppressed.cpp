@@ -1,0 +1,6 @@
+#include <thread>
+// R4 suppressed: an architectural exception with its reason on record.
+struct server {
+  // pelta-lint: allow(R4) enclave-resident worker, cannot be a pool task
+  std::thread worker_;
+};

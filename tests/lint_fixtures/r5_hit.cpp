@@ -1,0 +1,7 @@
+#include <unordered_map>
+#include <unordered_set>
+// R5 hit: unordered containers in a deterministic aggregation/report path.
+struct report {
+  std::unordered_map<long, long> per_client;  // line 5
+  std::unordered_set<long> seen;              // line 6
+};

@@ -1,0 +1,9 @@
+#include <map>
+#include <set>
+#include <vector>
+// R5 miss: ordered containers iterate deterministically.
+struct report {
+  std::map<long, long> per_client;
+  std::set<long> seen;
+  std::vector<long> order;
+};

@@ -3,6 +3,7 @@
 
 #include "autodiff/gradcheck.h"
 #include "tensor/conv.h"
+#include "tensor/kernels.h"  // detail::fmadd — the accumulation-policy reference
 #include "tensor/ops.h"
 
 namespace pelta {
@@ -85,6 +86,18 @@ TEST(Conv2d, BackwardBiasSumsOverSpatialAndBatch) {
   for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(gb[i], 32.0f);
 }
 
+TEST(Conv2d, BackwardBiasIsExactAcrossLargeBatchCancellation) {
+  // Regression for the per-image float re-narrowing the R1 lint rule
+  // surfaced: summing each image in double but folding into grad_b in float
+  // lost small contributions between large cancelling ones across the
+  // batch ({2^25, 1, -2^25} summed that way yields 0). One double
+  // accumulator per channel across the whole batch keeps the exact 1.
+  tensor go{{3, 1, 1, 1}, {33554432.0f, 1.0f, -33554432.0f}};
+  tensor gb = ops::conv2d_backward_bias(go);
+  ASSERT_EQ(gb.shape(), (shape_t{1}));
+  EXPECT_FLOAT_EQ(gb[0], 1.0f);
+}
+
 TEST(Conv2d, StridedBackwardMatchesFiniteDifference) {
   rng g{5};
   const tensor x = tensor::randn(g, {1, 2, 6, 6});
@@ -127,6 +140,31 @@ TEST(ConvTranspose, IsAdjointOfConv) {
   // with this layout convention.
   const tensor ty = ops::conv2d_transpose(y, w, 1, 1);
   EXPECT_NEAR(ops::dot(cx, y), ops::dot(x, ty), 1e-3f);
+}
+
+TEST(ConvTranspose, FollowsTheFmaddPolicy) {
+  // The scatter accumulation must round exactly like ops::detail::fmadd in
+  // the implementation's loop order (R1): a raw `out += v * w` would let
+  // -ffp-contract fuse it on FMA targets, making the transpose round
+  // differently per build flag while conv2d stays mul+add.
+  rng g{11};
+  const tensor x = tensor::randn(g, {1, 2, 2, 2});
+  const tensor w = tensor::randn(g, {2, 2, 2, 2});  // [C, OC, KH, KW]
+  const tensor y = ops::conv2d_transpose(x, w, 1, 0);
+  ASSERT_EQ(y.shape(), (shape_t{1, 2, 3, 3}));
+
+  tensor expect = tensor::zeros(y.shape());
+  for (std::int64_t ci = 0; ci < 2; ++ci)
+    for (std::int64_t iy = 0; iy < 2; ++iy)
+      for (std::int64_t ix = 0; ix < 2; ++ix) {
+        const float v = x.at(0, ci, iy, ix);
+        for (std::int64_t o = 0; o < 2; ++o)
+          for (std::int64_t ky = 0; ky < 2; ++ky)
+            for (std::int64_t kx = 0; kx < 2; ++kx)
+              expect.at(0, o, iy + ky, ix + kx) = ops::detail::fmadd(
+                  v, w.at(ci, o, ky, kx), expect.at(0, o, iy + ky, ix + kx));
+      }
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], expect[i]);
 }
 
 TEST(MaxPool, ForwardAndIndices) {

@@ -1,0 +1,258 @@
+// pelta-lint's own suite: fixture snippets under tests/lint_fixtures/
+// exercise each rule's hit, miss, allowlist and suppression paths, and a
+// self-check asserts the real src/ tree is clean — so this suite and the
+// `lint_pelta_tree` CTest gate can never drift apart: a rule change that
+// would fail the tree gate fails here first, with gtest-grade diagnostics.
+//
+// The fixture files are data, not translation units: they are read at run
+// time and linted under a masqueraded repo-relative path, which is what
+// selects the applicable rules (see lint::applicable_rules).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+using pelta::lint::file_report;
+using pelta::lint::finding;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(PELTA_LINT_FIXTURES) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+file_report lint_fixture(const std::string& name, const std::string& as_path) {
+  return pelta::lint::lint_source(as_path, read_fixture(name));
+}
+
+std::vector<int> lines_for_rule(const file_report& r, const std::string& rule) {
+  std::vector<int> lines;
+  for (const finding& f : r.findings)
+    if (f.rule == rule) lines.push_back(f.line);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Rule scoping
+// ---------------------------------------------------------------------------
+
+TEST(LintScoping, KernelFilesGetTheAccumulationAndArenaRules) {
+  using pelta::lint::applicable_rules;
+  EXPECT_EQ(applicable_rules("src/tensor/kernels.cpp"),
+            (std::vector<std::string>{"R1", "R2", "R3", "R4"}));
+  EXPECT_EQ(applicable_rules("src/tensor/conv.cpp"),
+            (std::vector<std::string>{"R1", "R2", "R3", "R4"}));
+  EXPECT_EQ(applicable_rules("src/fl/aggregation.cpp"),
+            (std::vector<std::string>{"R1", "R3", "R4", "R5"}));
+}
+
+TEST(LintScoping, AllowlistedCoresLoseExactlyTheirRule) {
+  using pelta::lint::applicable_rules;
+  // rng core may use OS entropy; it still may not spawn threads.
+  EXPECT_EQ(applicable_rules("src/tensor/rng.h"), (std::vector<std::string>{"R4"}));
+  // the pool implements concurrency; it still may not read the wall clock.
+  EXPECT_EQ(applicable_rules("src/tensor/parallel.cpp"), (std::vector<std::string>{"R3"}));
+  EXPECT_EQ(applicable_rules("src/serve/batcher.cpp"),
+            (std::vector<std::string>{"R3", "R4", "R5"}));
+}
+
+TEST(LintScoping, OutsideSrcNothingApplies) {
+  EXPECT_TRUE(pelta::lint::applicable_rules("bench/bench_serving.cpp").empty());
+  EXPECT_TRUE(pelta::lint::applicable_rules("tests/test_parallel.cpp").empty());
+  EXPECT_TRUE(pelta::lint::applicable_rules("tools/pelta-lint/lint.cpp").empty());
+}
+
+// ---------------------------------------------------------------------------
+// R1: raw float accumulation
+// ---------------------------------------------------------------------------
+
+TEST(LintR1, FlagsFloatVarAndFloatElementAccumulation) {
+  const file_report r = lint_fixture("r1_hit.cpp", "src/tensor/kernels.cpp");
+  EXPECT_EQ(lines_for_rule(r, "R1"), (std::vector<int>{4, 5}));
+  EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(LintR1, AllowsLoopSteppingDoublesIntsPointersAndFmadd) {
+  const file_report r = lint_fixture("r1_miss.cpp", "src/tensor/kernels.cpp");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings.front().message << " at line " << r.findings.front().line;
+}
+
+TEST(LintR1, WellFormedSuppressionsSilenceBothForms) {
+  const file_report r = lint_fixture("r1_suppressed.cpp", "src/tensor/conv.cpp");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 2);  // trailing form + own-line form
+}
+
+TEST(LintR1, SuppressionWithoutReasonDoesNotSuppress) {
+  const file_report r =
+      lint_fixture("r1_suppressed_no_reason.cpp", "src/tensor/conv.cpp");
+  EXPECT_EQ(lines_for_rule(r, "R1").size(), 1u);          // the violation stands
+  EXPECT_EQ(lines_for_rule(r, "suppression").size(), 1u);  // and the bare allow is diagnosed
+  EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(LintR1, DoesNotApplyOutsideTheAccumulationFiles) {
+  const file_report r = lint_fixture("r1_hit.cpp", "src/nn/layers.cpp");
+  EXPECT_TRUE(lines_for_rule(r, "R1").empty());
+}
+
+// ---------------------------------------------------------------------------
+// R2: allocation in arena-governed hot files
+// ---------------------------------------------------------------------------
+
+TEST(LintR2, FlagsVectorResizeAndNew) {
+  const file_report r = lint_fixture("r2_hit.cpp", "src/tensor/conv.cpp");
+  EXPECT_EQ(lines_for_rule(r, "R2"), (std::vector<int>{4, 5, 6}));
+}
+
+TEST(LintR2, ArenaUseAndProseMentionsAreClean) {
+  const file_report r = lint_fixture("r2_miss.cpp", "src/tensor/kernels.cpp");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings.front().message << " at line " << r.findings.front().line;
+}
+
+TEST(LintR2, OnlyGovernsTheHotFiles) {
+  // aggregation.cpp legitimately uses std::vector — R2 must not reach it.
+  const file_report r = lint_fixture("r2_hit.cpp", "src/fl/aggregation.cpp");
+  EXPECT_TRUE(lines_for_rule(r, "R2").empty());
+}
+
+// ---------------------------------------------------------------------------
+// R3: wall clock / OS entropy
+// ---------------------------------------------------------------------------
+
+TEST(LintR3, FlagsEveryClockAndEntropySource) {
+  const file_report r = lint_fixture("r3_hit.cpp", "src/fl/async.cpp");
+  EXPECT_EQ(lines_for_rule(r, "R3"), (std::vector<int>{6, 7, 8, 9, 10, 11}));
+}
+
+TEST(LintR3, SimulatedClockAndIdentifierBoundariesAreClean) {
+  const file_report r = lint_fixture("r3_miss.cpp", "src/serve/batcher.cpp");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings.front().message << " at line " << r.findings.front().line;
+}
+
+TEST(LintR3, RngCoreIsAllowlisted) {
+  const file_report r = lint_fixture("r3_hit.cpp", "src/tensor/rng.h");
+  EXPECT_TRUE(lines_for_rule(r, "R3").empty());
+}
+
+// ---------------------------------------------------------------------------
+// R4: threads outside the pool
+// ---------------------------------------------------------------------------
+
+TEST(LintR4, FlagsThreadAndAsync) {
+  const file_report r = lint_fixture("r4_hit.cpp", "src/serve/server.cpp");
+  EXPECT_EQ(lines_for_rule(r, "R4"), (std::vector<int>{5, 6}));
+}
+
+TEST(LintR4, PoolImplementationIsAllowlisted) {
+  const file_report r = lint_fixture("r4_hit.cpp", "src/tensor/parallel.cpp");
+  EXPECT_TRUE(lines_for_rule(r, "R4").empty());
+}
+
+TEST(LintR4, ArchitecturalExceptionRidesASuppression) {
+  const file_report r = lint_fixture("r4_suppressed.cpp", "src/tee/hotcalls.h");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// R5: unordered containers in fl/serve
+// ---------------------------------------------------------------------------
+
+TEST(LintR5, FlagsUnorderedContainersInFlAndServe) {
+  EXPECT_EQ(lines_for_rule(lint_fixture("r5_hit.cpp", "src/fl/federation.cpp"), "R5"),
+            (std::vector<int>{5, 6}));
+  EXPECT_EQ(lines_for_rule(lint_fixture("r5_hit.cpp", "src/serve/server.cpp"), "R5"),
+            (std::vector<int>{5, 6}));
+}
+
+TEST(LintR5, OrderedContainersAreClean) {
+  const file_report r = lint_fixture("r5_miss.cpp", "src/fl/federation.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintR5, OtherSubsystemsMayUseHashMaps) {
+  const file_report r = lint_fixture("r5_hit.cpp", "src/models/zoo.cpp");
+  EXPECT_TRUE(lines_for_rule(r, "R5").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression syntax
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, MalformedCommentsAreDiagnosed) {
+  const file_report r = lint_fixture("malformed_suppression.cpp", "src/core/pelta.cpp");
+  EXPECT_EQ(lines_for_rule(r, "suppression").size(), 2u);
+}
+
+TEST(LintSuppression, WrongRuleDoesNotSilence) {
+  const std::string src =
+      "void f(float* out, const float* a, long n) {\n"
+      "  for (long i = 0; i < n; ++i)\n"
+      "    out[i] += a[i];  // pelta-lint: allow(R2) wrong rule named\n"
+      "}\n";
+  const file_report r = pelta::lint::lint_source("src/tensor/conv.cpp", src);
+  EXPECT_EQ(lines_for_rule(r, "R1").size(), 1u);
+  EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(LintSuppression, MultiRuleAllowCoversEachNamedRule) {
+  const std::string src =
+      "#include <vector>\n"
+      "// pelta-lint: allow(R1,R2) fixture: own-line list covers the next line\n"
+      "std::vector<float> scratch;\n"                                // R2, suppressed
+      "void f(float* out, const float* a, long n) {\n"
+      "  for (long i = 0; i < n; ++i)\n"
+      "    out[i] += a[i];  // pelta-lint: allow(R2,R1) trailing list\n"  // R1, suppressed
+      "}\n";
+  const file_report r = pelta::lint::lint_source("src/tensor/conv.cpp", src);
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings.front().rule << " at line " << r.findings.front().line;
+  EXPECT_EQ(r.suppressed, 2);
+}
+
+TEST(LintSuppression, SuppressionsDoNotLeakAcrossLines) {
+  // The own-line form covers exactly the next line — a violation two lines
+  // down must still surface.
+  const std::string src =
+      "void f(float* out, const float* a, long n) {\n"
+      "  // pelta-lint: allow(R1) only shields the line below\n"
+      "  for (long i = 0; i < n; ++i)\n"
+      "    out[i] += a[i];\n"
+      "}\n";
+  const file_report r = pelta::lint::lint_source("src/tensor/conv.cpp", src);
+  EXPECT_EQ(lines_for_rule(r, "R1"), (std::vector<int>{4}));
+  EXPECT_EQ(r.suppressed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Self-check: the real tree is clean. This is the same walk the
+// lint_pelta_tree CTest entry gates on — if a sweep regression or a rule
+// change breaks one, it breaks both, so they cannot drift apart.
+// ---------------------------------------------------------------------------
+
+TEST(LintTree, RealSourceTreeIsClean) {
+  const pelta::lint::tree_report r = pelta::lint::lint_tree(PELTA_LINT_SOURCE_ROOT);
+  EXPECT_GT(r.files_scanned, 100) << "walker lost the tree?";
+  for (const finding& f : r.findings)
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] " << f.message;
+  // The documented architectural exceptions currently on record (hotcalls
+  // worker thread, conv scatter-adds). More may be added; fewer means a
+  // suppression went stale and should be deleted.
+  EXPECT_GE(r.suppressed, 4);
+}
+
+}  // namespace

@@ -30,8 +30,14 @@ TEST(ParamStore, AddressesStableAcrossGrowth) {
   // parameters must not invalidate them.
   param_store ps;
   ad::parameter* first = &ps.create("p0", tensor::zeros({4}));
-  for (int i = 1; i < 64; ++i)
-    ps.create("p" + std::to_string(i), tensor::zeros({4}));
+  for (int i = 1; i < 64; ++i) {
+    // Append, not `"p" + to_string(i)`: the const char* + string&& prepend
+    // path trips GCC 12's -Wrestrict false positive at -O3 (see
+    // models/resnet.cpp), which the -Werror CI legs would promote.
+    std::string name = "p";
+    name += std::to_string(i);
+    ps.create(name, tensor::zeros({4}));
+  }
   EXPECT_EQ(first, &ps.get("p0"));
   EXPECT_EQ(first->name, "p0");
 }

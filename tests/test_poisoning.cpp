@@ -8,6 +8,7 @@
 #include "fl/state.h"
 #include "models/trainer.h"
 #include "models/zoo.h"
+#include "tensor/kernels.h"  // detail::fmadd — the accumulation-policy reference
 #include "tensor/ops.h"
 
 namespace pelta::fl {
@@ -143,6 +144,21 @@ TEST(Aggregation, TrimmedMeanFloorsSmallPositiveFractions) {
   EXPECT_NEAR(decode1(aggregate_states(ref, updates, cfg))[0], 2.0f, 1e-5f);
 }
 
+TEST(Aggregation, TrimmedMeanSurvivesCatastrophicCancellation) {
+  // Regression for the float accumulator the R1 lint rule flagged: summing
+  // the sorted column {-2^25, 1, 2^25} left-to-right in float loses the 1
+  // entirely (-2^25 + 1 rounds back to -2^25), so the old code returned 0.
+  // The double-widened accumulator keeps it: the mean is exactly 1/3.
+  const byte_buffer ref = encode1({0.0f});
+  const std::vector<model_update> updates = {make_update(0, 1, {-33554432.0f}),
+                                             make_update(1, 1, {1.0f}),
+                                             make_update(2, 1, {33554432.0f})};
+  aggregation_config cfg;
+  cfg.rule = aggregation_rule::trimmed_mean;
+  cfg.trim_fraction = 0.0f;  // untrimmed: the extremes must cancel, not swallow
+  EXPECT_NEAR(decode1(aggregate_states(ref, updates, cfg))[0], 1.0f / 3.0f, 1e-6f);
+}
+
 TEST(Aggregation, TrimmedMeanRejectsDegenerateFractions) {
   const byte_buffer ref = encode1({0.0f});
   const std::vector<model_update> updates = {make_update(0, 1, {1.0f}),
@@ -175,6 +191,30 @@ TEST(Aggregation, NormClipSelfTunesToMedianNorm) {
   cfg.rule = aggregation_rule::norm_clipped_mean;  // clip_norm = 0: median = 2
   const auto out = decode1(aggregate_states(ref, updates, cfg));
   EXPECT_NEAR(out[0], (2.0f + 2.0f + 2.0f) / 3.0f, 1e-4f);
+}
+
+TEST(Aggregation, NormClipFollowsTheFmaddPolicy) {
+  // The delta accumulation must round exactly like ops::detail::fmadd — the
+  // repo-wide float-accumulation policy (R1) — so the aggregate is
+  // bit-identical across build flags (-ffp-contract on FMA targets would
+  // otherwise fuse a raw `out += w * delta` into a differently-rounded FMA).
+  const std::vector<float> ref_v = {0.1f, -0.3f, 2.5f};
+  const std::vector<std::vector<float>> clients = {{1.0f / 3.0f, 0.7f, -0.2f},
+                                                   {0.2f, -1.1f, 3.9f}};
+  const byte_buffer ref = encode1(ref_v);
+  const std::vector<model_update> updates = {make_update(0, 1, clients[0]),
+                                             make_update(1, 1, clients[1])};
+  aggregation_config cfg;
+  cfg.rule = aggregation_rule::norm_clipped_mean;
+  cfg.clip_norm = 100.0f;  // far above both delta norms: scale = 1 for all
+  const auto out = decode1(aggregate_states(ref, updates, cfg));
+
+  std::vector<float> expect = ref_v;  // same order as the implementation
+  for (const auto& s : clients)
+    for (std::size_t j = 0; j < expect.size(); ++j)
+      expect[j] = ops::detail::fmadd(0.5f, s[j] - ref_v[j], expect[j]);
+  ASSERT_EQ(out.size(), expect.size());
+  for (std::size_t j = 0; j < expect.size(); ++j) EXPECT_EQ(out[j], expect[j]);
 }
 
 TEST(Aggregation, StructureMismatchThrows) {

@@ -54,8 +54,14 @@ TEST(HotCalls, LifetimeCostsTwoSwitchesRegardlessOfCallCount) {
   e.reset_statistics();
   {
     hotcall_server server{e};
-    for (std::int64_t i = 0; i < 50; ++i)
-      server.store("k" + std::to_string(i % 4), tensor::full({8}, static_cast<float>(i)));
+    for (std::int64_t i = 0; i < 50; ++i) {
+      // Append, not `"k" + to_string(...)`: that prepend path trips GCC 12's
+      // -Wrestrict false positive at -O3 (see models/resnet.cpp), which the
+      // -Werror CI legs would promote.
+      std::string key = "k";
+      key += std::to_string(i % 4);
+      server.store(key, tensor::full({8}, static_cast<float>(i)));
+    }
   }
   // enter + exit only; the 50 stores crossed via the polled slot.
   EXPECT_EQ(e.statistics().world_switches, 2);
@@ -176,8 +182,12 @@ TEST(HotCalls, TwoClientThreadsSerializeSafely) {
   enclave e{1 << 22};
   hotcall_server server{e};
   auto hammer = [&](std::int64_t base) {
-    for (std::int64_t i = 0; i < 100; ++i)
-      server.store("k" + std::to_string(base + i), tensor::full({4}, static_cast<float>(i)));
+    for (std::int64_t i = 0; i < 100; ++i) {
+      // Append, not `"k" + to_string(...)` — GCC 12 -Wrestrict, as above.
+      std::string key = "k";
+      key += std::to_string(base + i);
+      server.store(key, tensor::full({4}, static_cast<float>(i)));
+    }
   };
   std::thread a{hammer, 0}, b{hammer, 1000};
   a.join();

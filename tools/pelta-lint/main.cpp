@@ -1,0 +1,50 @@
+// pelta-lint CLI: walk <repo-root>/src and enforce the project invariants
+// (rules R1-R5, see lint.h). Exit code 1 on any finding, so the CTest
+// `lint` label and the CI static-analysis job gate on it directly.
+#include <cstdio>
+#include <string>
+
+#include "lint.h"
+
+namespace {
+
+constexpr const char* k_rules_doc =
+    "pelta-lint rules (suppress with `// pelta-lint: allow(<rule>) <reason>`):\n"
+    "  R1  no raw float +=/-= accumulation in src/tensor/kernels.cpp,\n"
+    "      src/tensor/conv.cpp, src/fl/aggregation.{h,cpp} outside\n"
+    "      detail::fmadd / double-widened accumulators\n"
+    "  R2  no std::vector / new / resize() in the arena-governed hot files\n"
+    "      (src/tensor/kernels.cpp, src/tensor/conv.cpp)\n"
+    "  R3  no steady_clock/system_clock/high_resolution_clock,\n"
+    "      std::random_device, rand()/srand() in src/ outside the rng core\n"
+    "      (src/tensor/rng.h)\n"
+    "  R4  no std::thread / std::jthread / std::async outside\n"
+    "      src/tensor/parallel.{h,cpp}\n"
+    "  R5  no std::unordered_map / std::unordered_set in src/fl or src/serve\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--rules") {
+    std::fputs(k_rules_doc, stdout);
+    return 0;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: pelta-lint <repo-root> | pelta-lint --rules\n");
+    return 2;
+  }
+  pelta::lint::tree_report report;
+  try {
+    report = pelta::lint::lint_tree(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pelta-lint: %s\n", e.what());
+    return 2;
+  }
+  for (const pelta::lint::finding& f : report.findings)
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                 f.message.c_str());
+  std::printf("pelta-lint: %d files scanned, %zu finding%s, %d suppressed\n",
+              report.files_scanned, report.findings.size(),
+              report.findings.size() == 1 ? "" : "s", report.suppressed);
+  return report.findings.empty() ? 0 : 1;
+}

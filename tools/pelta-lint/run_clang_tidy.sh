@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Run clang-tidy over every library/tool translation unit using the
+# compile_commands.json exported by CMake. The curated WarningsAsErrors set
+# in .clang-tidy turns findings into a non-zero exit, so both the CTest
+# `lint` label and the CI static-analysis job gate on this script.
+#
+# usage: run_clang_tidy.sh <repo-root> <build-dir> [log-file]
+#
+# The log (default <build-dir>/clang-tidy.log) is always written, so CI can
+# upload it as an artifact whether or not the run passes.
+set -u
+
+root="${1:?usage: run_clang_tidy.sh <repo-root> <build-dir> [log-file]}"
+build="${2:?usage: run_clang_tidy.sh <repo-root> <build-dir> [log-file]}"
+log="${3:-"${build}/clang-tidy.log"}"
+
+tidy="${CLANG_TIDY:-}"
+if [ -z "${tidy}" ]; then
+  for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then tidy="${cand}"; break; fi
+  done
+fi
+if [ -z "${tidy}" ] || ! command -v "${tidy}" >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: no usable clang-tidy binary found (set CLANG_TIDY=...)" >&2
+  exit 3
+fi
+if [ ! -f "${build}/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: ${build}/compile_commands.json missing (configure with CMake first)" >&2
+  exit 3
+fi
+
+# Library + tool TUs only: tests/ and bench/ pull in gtest/benchmark headers
+# whose diagnostics are not ours to fix, and the gate is about src/.
+files=$(cd "${root}" && find src tools -name '*.cpp' | sort)
+
+echo "== ${tidy} over $(echo "${files}" | wc -l) translation units ==" | tee "${log}"
+
+# One clang-tidy process per TU, nproc-wide: per-file output lands in its own
+# scratch file, so the merged log stays readable under parallelism.
+scratch="$(mktemp -d)"
+trap 'rm -rf "${scratch}"' EXIT
+jobs="$(nproc 2>/dev/null || echo 2)"
+export PELTA_TIDY="${tidy}" PELTA_TIDY_BUILD="${build}" \
+       PELTA_TIDY_ROOT="${root}" PELTA_TIDY_SCRATCH="${scratch}"
+echo "${files}" | xargs -P "${jobs}" -n 1 sh -c '
+  out="${PELTA_TIDY_SCRATCH}/$(printf %s "$1" | tr "/" "_").log"
+  if ! "${PELTA_TIDY}" -p "${PELTA_TIDY_BUILD}" --quiet \
+       "${PELTA_TIDY_ROOT}/$1" >"${out}" 2>&1; then
+    echo "FAIL $1" >> "${PELTA_TIDY_SCRATCH}/failures"
+  fi' tidy-one
+
+status=0
+for f in ${files}; do
+  cat "${scratch}/$(printf %s "${f}" | tr '/' '_').log" >> "${log}" 2>/dev/null || true
+done
+if [ -f "${scratch}/failures" ]; then
+  status=1
+  sort "${scratch}/failures" | tee -a "${log}"
+fi
+
+if [ "${status}" -ne 0 ]; then
+  echo "== clang-tidy findings (full log: ${log}) ==" >&2
+  grep -E "(warning|error):" "${log}" | head -100 >&2
+fi
+exit "${status}"
