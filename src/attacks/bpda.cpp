@@ -64,6 +64,10 @@ robust_eval evaluate_transfer_attack(const models::model& victim,
   PELTA_CHECK_MSG(!candidates.empty(), "victim classifies no test sample correctly");
 
   const rng root{seed};
+  // Lock-free on purpose (lock discipline, docs/ARCHITECTURE.md): these are
+  // commutative-sum atomics incremented from parallel_for chunks — order
+  // cannot affect the integer totals, so no mutex / PELTA_GUARDED_BY is
+  // needed and fetch-add contention is the only synchronization.
   std::atomic<std::int64_t> successes{0};
   std::atomic<std::int64_t> total_queries{0};
 

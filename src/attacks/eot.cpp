@@ -100,6 +100,10 @@ robust_eval evaluate_attack_defended(const defenses::defended_model& dm, const d
   const oracle_factory factory =
       defended_oracle_factory(inner_factory, dm.chain(), config.eot_samples);
 
+  // Lock-free on purpose (lock discipline, docs/ARCHITECTURE.md): these are
+  // commutative-sum atomics incremented from parallel_for chunks — order
+  // cannot affect the integer totals, so no mutex / PELTA_GUARDED_BY is
+  // needed and fetch-add contention is the only synchronization.
   std::atomic<std::int64_t> successes{0};
   std::atomic<std::int64_t> total_queries{0};
   parallel_for(static_cast<std::int64_t>(candidates.size()), [&](std::int64_t i) {

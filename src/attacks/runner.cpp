@@ -122,6 +122,10 @@ robust_eval evaluate_attack(const models::model& m, const data::dataset& ds, att
   PELTA_CHECK_MSG(!candidates.empty(), "model classifies no test sample correctly");
 
   const rng root{seed};
+  // Lock-free on purpose (lock discipline, docs/ARCHITECTURE.md): these are
+  // commutative-sum atomics incremented from parallel_for chunks — order
+  // cannot affect the integer totals, so no mutex / PELTA_GUARDED_BY is
+  // needed and fetch-add contention is the only synchronization.
   std::atomic<std::int64_t> successes{0};
   std::atomic<std::int64_t> total_queries{0};
 
@@ -192,6 +196,7 @@ saga_eval evaluate_saga(const models::model& vit, const models::model& cnn,
   config.alpha_k = params.saga_alpha_k_sim;  // unit-scale terms (see saga.h)
 
   const rng root{seed};
+  // Same commutative-sum atomic policy as above: no lock needed.
   std::atomic<std::int64_t> vit_ok{0}, cnn_ok{0}, ens_ok{0};
 
   parallel_for(static_cast<std::int64_t>(candidates.size()), [&](std::int64_t i) {

@@ -1,7 +1,8 @@
 #include "autodiff/ops_norm.h"
 
 #include <cmath>
-#include <mutex>
+
+#include "core/sync.h"
 
 namespace pelta::ad {
 
@@ -9,9 +10,12 @@ namespace {
 
 // Running-statistics updates may race under data-parallel training shards;
 // a single global guard keeps them consistent (update order across shards
-// is unspecified, like distributed batch norm).
-std::mutex& bn_stats_mutex() {
-  static std::mutex mu;
+// is unspecified, like distributed batch norm). The guarded data are the
+// caller-owned bn_stats tensors, not members of this TU, so there is no
+// field to PELTA_GUARDED_BY — the capability is documented here and held
+// around every running-stats read-modify-write below.
+sync::mutex& bn_stats_mutex() {
+  static sync::mutex mu;
   return mu;
 }
 
@@ -168,7 +172,7 @@ public:
         inv_sigma_[ch] = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
       }
       {
-        const std::lock_guard<std::mutex> lock{bn_stats_mutex()};
+        const sync::lock_guard lock{bn_stats_mutex()};
         for (std::int64_t ch = 0; ch < c; ++ch) {
           stats_->running_mean[ch] =
               (1.0f - momentum_) * stats_->running_mean[ch] + momentum_ * mean_[ch];

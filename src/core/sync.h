@@ -1,0 +1,100 @@
+// Annotated synchronization primitives — thin wrappers over std::mutex /
+// std::condition_variable carrying the Clang Thread Safety attributes from
+// core/thread_annotations.h.
+//
+// libstdc++'s std::mutex is not annotated as a capability, so Clang's
+// `-Wthread-safety` cannot see a std::lock_guard<std::mutex> acquire
+// anything — fields marked PELTA_GUARDED_BY would warn on every access.
+// These wrappers make the lock visible to the analysis while compiling to
+// the exact same code (every method is a single forwarded call). They are
+// the ONLY way to hold a lock in src/: pelta-lint rule R6 rejects raw
+// std::mutex / std::condition_variable members anywhere else, so a GCC-only
+// build cannot quietly grow an unanalyzable lock.
+//
+// This is a *vocabulary header* like core/thread_annotations.h: any
+// subsystem may include it without creating a layering edge, and it may
+// include nothing from src/ except other vocabulary headers (enforced by
+// the pelta-lint layering pass).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.h"
+
+namespace pelta::sync {
+
+/// std::mutex as a Clang capability. `native()` exposes the underlying
+/// handle for condition_variable, which needs a std::unique_lock<std::mutex>.
+class PELTA_CAPABILITY("mutex") mutex {
+public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() PELTA_ACQUIRE() { m_.lock(); }
+  void unlock() PELTA_RELEASE() { m_.unlock(); }
+  bool try_lock() PELTA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  std::mutex& native() { return m_; }
+
+private:
+  std::mutex m_;
+};
+
+/// Scoped lock for the plain hold-for-the-whole-scope pattern.
+class PELTA_SCOPED_CAPABILITY lock_guard {
+public:
+  explicit lock_guard(mutex& m) PELTA_ACQUIRE(m) : m_{m} { m_.lock(); }
+  ~lock_guard() PELTA_RELEASE() { m_.unlock(); }
+
+  lock_guard(const lock_guard&) = delete;
+  lock_guard& operator=(const lock_guard&) = delete;
+
+private:
+  mutex& m_;
+};
+
+/// Scoped lock that can be dropped and re-taken mid-scope (the pool's
+/// claim-release-execute-reacquire loop) and handed to condition_variable.
+/// The analysis tracks the locked/unlocked state of locally constructed
+/// instances through unlock()/lock() pairs.
+class PELTA_SCOPED_CAPABILITY unique_lock {
+public:
+  explicit unique_lock(mutex& m) PELTA_ACQUIRE(m) : inner_{m.native()} {}
+  ~unique_lock() PELTA_RELEASE() {}  // std::unique_lock skips the unlock if already released
+
+  unique_lock(const unique_lock&) = delete;
+  unique_lock& operator=(const unique_lock&) = delete;
+
+  void lock() PELTA_ACQUIRE() { inner_.lock(); }
+  void unlock() PELTA_RELEASE() { inner_.unlock(); }
+
+  std::unique_lock<std::mutex>& native() { return inner_; }
+
+private:
+  std::unique_lock<std::mutex> inner_;
+};
+
+/// Condition variable over sync::unique_lock. wait() is deliberately
+/// unannotated: it releases and re-acquires the lock internally, but always
+/// returns with it held, so the caller's capability assumption stays valid
+/// at every point the caller can observe. There is no predicate overload on
+/// purpose — a predicate lambda is a separate function to the analysis and
+/// would read guarded fields without a visible capability; write the
+/// `while (!condition) cv.wait(lock);` loop in the annotated caller instead.
+class condition_variable {
+public:
+  condition_variable() = default;
+  condition_variable(const condition_variable&) = delete;
+  condition_variable& operator=(const condition_variable&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+  void wait(unique_lock& lock) { cv_.wait(lock.native()); }
+
+private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pelta::sync

@@ -1,0 +1,74 @@
+// Clang Thread Safety Analysis annotation macros (no-op on GCC).
+//
+// The repo's locking story is small on purpose — the pool mutex, the serve
+// ingress queue, the fl network counters, the HotCalls client lock, the
+// batch-norm stats guard — and PR 2..6 keep it honest dynamically (the TSan
+// CI leg) and lexically (pelta-lint R4/R6). These macros add the third,
+// strongest layer: Clang's `-Wthread-safety` analysis proves at compile
+// time that every field marked PELTA_GUARDED_BY is only touched with its
+// named mutex held, and that every function marked PELTA_REQUIRES is only
+// called under the right lock. The CI `clang-thread-safety` job builds the
+// whole tree with `-Werror=thread-safety`, so lock-discipline misuse is a
+// build break, not a flaky TSan repro.
+//
+// GCC has no equivalent attribute set, so everything expands to nothing
+// there — which is why pelta-lint rule R6 exists: it checks, on any
+// compiler, that mutex members are the annotated pelta::sync wrappers and
+// that every mutex member actually names the fields it guards.
+//
+// Usage (see core/sync.h for the annotated mutex wrappers):
+//
+//   class account {
+//     sync::mutex mutex_;
+//     double balance_ PELTA_GUARDED_BY(mutex_) = 0.0;
+//     void apply_locked(double d) PELTA_REQUIRES(mutex_);
+//   };
+//
+// This header is a *vocabulary header*: it may be included from any
+// subsystem without creating a layering edge (see docs/ARCHITECTURE.md,
+// "Subsystem dependency DAG"), and in exchange it must include nothing
+// from src/ itself. The layering pass enforces both directions.
+#pragma once
+
+#if defined(__clang__)
+#define PELTA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PELTA_THREAD_ANNOTATION(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+/// Marks a class as a lockable capability ("mutex" is the diagnostics name).
+#define PELTA_CAPABILITY(x) PELTA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define PELTA_SCOPED_CAPABILITY PELTA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding the named mutex.
+#define PELTA_GUARDED_BY(x) PELTA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by the named mutex.
+#define PELTA_PT_GUARDED_BY(x) PELTA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called with the named mutex(es) already held.
+#define PELTA_REQUIRES(...) PELTA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the named mutex(es) (no argument: the object itself).
+#define PELTA_ACQUIRE(...) PELTA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the named mutex(es) (no argument: the object itself).
+#define PELTA_RELEASE(...) PELTA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define PELTA_TRY_ACQUIRE(...) PELTA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called with the named mutex(es) NOT held (deadlock guard
+/// for non-reentrant locks).
+#define PELTA_EXCLUDES(...) PELTA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named mutex (accessor pattern).
+#define PELTA_RETURN_CAPABILITY(x) PELTA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code whose synchronization the analysis cannot model
+/// (hand-over-hand locking, locks passed by reference). Every use must carry
+/// a justification comment and be listed in docs/ARCHITECTURE.md's
+/// lock-discipline exceptions table.
+#define PELTA_NO_THREAD_SAFETY_ANALYSIS PELTA_THREAD_ANNOTATION(no_thread_safety_analysis)

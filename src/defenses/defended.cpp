@@ -86,6 +86,10 @@ float defended_model::accuracy(const tensor& images, const tensor& labels,
   const std::int64_t n = images.size(0);
   const std::int64_t stride = images.numel() / n;
   const rng root{seed};
+  // Lock-free on purpose (lock discipline, docs/ARCHITECTURE.md): these are
+  // commutative-sum atomics incremented from parallel_for chunks — order
+  // cannot affect the integer totals, so no mutex / PELTA_GUARDED_BY is
+  // needed and fetch-add contention is the only synchronization.
   std::atomic<std::int64_t> correct{0};
   parallel_for(n, [&](std::int64_t i) {
     rng gen = root.fork(static_cast<std::uint64_t>(i));

@@ -15,8 +15,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace pelta::fl {
 
@@ -77,7 +78,7 @@ public:
   /// worker threads).
   double record(std::int64_t bytes, const client_profile& link = {}) {
     const double ns = transfer_ns(bytes, link);
-    std::lock_guard<std::mutex> lock{mutex_};
+    const sync::lock_guard lock{mutex_};
     ++stats_.messages;
     stats_.bytes += bytes;
     stats_.simulated_ns += ns;
@@ -87,19 +88,19 @@ public:
   /// Snapshot of the counters. Taken under the lock so a reader never sees
   /// a half-applied record() from another thread.
   network_stats stats() const {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const sync::lock_guard lock{mutex_};
     return stats_;
   }
   void reset() {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const sync::lock_guard lock{mutex_};
     stats_ = {};
   }
 
 private:
   double ns_per_byte_;
   double per_message_ns_;
-  mutable std::mutex mutex_;
-  network_stats stats_;
+  mutable sync::mutex mutex_;
+  network_stats stats_ PELTA_GUARDED_BY(mutex_);
 };
 
 }  // namespace pelta::fl

@@ -22,7 +22,7 @@ bool request_queue::push(classify_request request) {
   PELTA_CHECK_MSG(std::isfinite(request.submit_ns),
                   "request " << request.id << " has a non-finite submit_ns");
   {
-    const std::scoped_lock lock{mutex_};
+    const sync::lock_guard lock{mutex_};
     if (closed_) {
       ++rejected_;
       return false;
@@ -35,15 +35,15 @@ bool request_queue::push(classify_request request) {
 }
 
 std::vector<classify_request> request_queue::drain() {
-  const std::scoped_lock lock{mutex_};
+  const sync::lock_guard lock{mutex_};
   std::vector<classify_request> out;
   out.swap(pending_);
   return out;
 }
 
 std::vector<classify_request> request_queue::wait_drain() {
-  std::unique_lock lock{mutex_};
-  ready_.wait(lock, [&] { return !pending_.empty() || closed_; });
+  sync::unique_lock lock{mutex_};
+  while (pending_.empty() && !closed_) ready_.wait(lock);
   std::vector<classify_request> out;
   out.swap(pending_);
   return out;
@@ -51,29 +51,29 @@ std::vector<classify_request> request_queue::wait_drain() {
 
 void request_queue::close() {
   {
-    const std::scoped_lock lock{mutex_};
+    const sync::lock_guard lock{mutex_};
     closed_ = true;
   }
   ready_.notify_all();
 }
 
 bool request_queue::closed() const {
-  const std::scoped_lock lock{mutex_};
+  const sync::lock_guard lock{mutex_};
   return closed_;
 }
 
 std::int64_t request_queue::pending() const {
-  const std::scoped_lock lock{mutex_};
+  const sync::lock_guard lock{mutex_};
   return static_cast<std::int64_t>(pending_.size());
 }
 
 std::int64_t request_queue::total_pushed() const {
-  const std::scoped_lock lock{mutex_};
+  const sync::lock_guard lock{mutex_};
   return total_pushed_;
 }
 
 std::int64_t request_queue::rejected() const {
-  const std::scoped_lock lock{mutex_};
+  const sync::lock_guard lock{mutex_};
   return rejected_;
 }
 

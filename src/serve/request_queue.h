@@ -7,11 +7,10 @@
 // the requests themselves, never on producer interleaving.
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "core/sync.h"
 #include "serve/request.h"
 
 namespace pelta::serve {
@@ -41,12 +40,12 @@ public:
   std::int64_t rejected() const;      ///< pushes refused after close()
 
 private:
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::vector<classify_request> pending_;
-  std::int64_t total_pushed_ = 0;
-  std::int64_t rejected_ = 0;
-  bool closed_ = false;
+  mutable sync::mutex mutex_;
+  sync::condition_variable ready_;
+  std::vector<classify_request> pending_ PELTA_GUARDED_BY(mutex_);
+  std::int64_t total_pushed_ PELTA_GUARDED_BY(mutex_) = 0;
+  std::int64_t rejected_ PELTA_GUARDED_BY(mutex_) = 0;
+  bool closed_ PELTA_GUARDED_BY(mutex_) = false;
 };
 
 /// THE canonical dispatch order of a drained request set: (submit_ns, id),

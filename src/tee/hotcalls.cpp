@@ -49,7 +49,7 @@ void hotcall_server::worker_loop() {
 }
 
 void hotcall_server::call(request& r) {
-  const std::scoped_lock lock{client_mutex_};
+  const sync::lock_guard lock{client_mutex_};
   slot_ = &r;
   state_.store(slot_state::ready, std::memory_order_release);
   while (state_.load(std::memory_order_acquire) != slot_state::done) std::this_thread::yield();
@@ -101,6 +101,11 @@ void hotcall_server::erase(const std::string& key) {
 }
 
 hotcall_stats hotcall_server::statistics() const {
+  // calls_ / simulated_ns_ are written by call() under client_mutex_; reading
+  // them lock-free here raced concurrent callers (surfaced by the clang
+  // thread-safety sweep — the serve enclave_session meters per-batch deltas
+  // through this accessor while producers may still be pushing).
+  const sync::lock_guard lock{client_mutex_};
   hotcall_stats s;
   s.calls = calls_;
   s.worker_polls = worker_polls_.load(std::memory_order_relaxed);

@@ -18,10 +18,10 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <thread>
 
+#include "core/sync.h"
 #include "tee/enclave.h"
 
 namespace pelta::tee {
@@ -73,7 +73,7 @@ private:
   };
 
   void worker_loop();
-  void call(request& r);
+  void call(request& r) PELTA_EXCLUDES(client_mutex_);
 
   enclave* enclave_;
   // The HotCalls design point: a dedicated thread parked INSIDE the enclave
@@ -82,11 +82,14 @@ private:
   std::thread worker_;  // pelta-lint: allow(R4) enclave-resident HotCalls worker, not pool work
   std::atomic<slot_state> state_{slot_state::empty};
   std::atomic<bool> stop_{false};
+  // slot_ carries no GUARDED_BY: the worker reads it without client_mutex_,
+  // synchronized instead by the state_ acquire/release handoff (publish
+  // happens-before ready, done happens-before the client's next touch).
   request* slot_ = nullptr;  // published by call(), consumed by the worker
-  std::mutex client_mutex_;  // serializes normal-world callers (SPSC slot)
+  mutable sync::mutex client_mutex_;  // serializes normal-world callers (SPSC slot)
   std::atomic<std::int64_t> worker_polls_{0};
-  std::int64_t calls_ = 0;
-  double simulated_ns_ = 0.0;
+  std::int64_t calls_ PELTA_GUARDED_BY(client_mutex_) = 0;
+  double simulated_ns_ PELTA_GUARDED_BY(client_mutex_) = 0.0;
 };
 
 }  // namespace pelta::tee

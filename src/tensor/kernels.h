@@ -51,7 +51,10 @@ inline bool all_finite(const float* p, std::int64_t count) {
 /// Lazily computed finiteness of one B operand: -1 unknown, 0 has
 /// non-finite values, 1 all finite. Chunks of one parallel split share the
 /// cache so B is scanned at most once per operand (the duplicated-scan race
-/// is benign — both writers store the same value).
+/// is benign — both writers store the same value). Lock discipline
+/// (docs/ARCHITECTURE.md): a value-idempotent atomic like this carries no
+/// PELTA_GUARDED_BY — there is no mutex, and every racing writer computes
+/// the identical value from the same immutable operand.
 class finite_cache {
 public:
   bool check(const float* b, std::int64_t count) {

@@ -1,0 +1,7 @@
+// Edge-collection fixture: quoted includes become layering edges; an
+// allow(L1) marks its line's edge suppressed; system headers and
+// commented-out directives are never edges.
+#include <vector>
+#include "beta/util.h"
+// #include "gamma/dead.h"
+#include "gamma/exception.h"  // pelta-lint: allow(L1) fixture: documented one-off edge

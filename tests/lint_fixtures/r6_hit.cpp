@@ -1,0 +1,9 @@
+// R6 fixture (hit): raw std lock primitives outside core/sync.h, and a
+// sync::mutex member that no PELTA_* annotation ever names.
+#include "core/sync.h"
+
+class stats {
+  std::mutex raw_mutex_;
+  std::condition_variable raw_cv_;
+  sync::mutex orphan_;
+};

@@ -1,0 +1,19 @@
+// R6 fixture (miss): the annotated wrappers used with full discipline.
+// Prose mentions of std::mutex (like this one) are scrubbed before matching,
+// and so is the string literal below.
+#include "core/sync.h"
+
+class stats {
+ public:
+  void add(double v) PELTA_EXCLUDES(mutex_);
+  double total() const PELTA_REQUIRES(mutex_);
+
+ private:
+  mutable sync::mutex mutex_;
+  double total_ PELTA_GUARDED_BY(mutex_) = 0.0;
+};
+
+const char* describe() { return "std::condition_variable"; }
+
+sync::mutex& accessor();         // reference: not an owning member declaration
+static sync::mutex local_guard;  // no trailing underscore: not a member

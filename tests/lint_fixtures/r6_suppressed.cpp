@@ -1,0 +1,8 @@
+// R6 fixture (suppressed): documented exceptions ride reasoned allows —
+// both the raw-primitive form and the unguarded-member form.
+#include "core/sync.h"
+
+class legacy {
+  std::mutex raw_;      // pelta-lint: allow(R6) fixture: third-party handoff owns this lock
+  sync::mutex orphan_;  // pelta-lint: allow(R6) fixture: guards caller-owned tensors, nothing to annotate
+};

@@ -10,11 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "layering.h"
 #include "lint.h"
 
 namespace {
@@ -49,21 +53,27 @@ std::vector<int> lines_for_rule(const file_report& r, const std::string& rule) {
 TEST(LintScoping, KernelFilesGetTheAccumulationAndArenaRules) {
   using pelta::lint::applicable_rules;
   EXPECT_EQ(applicable_rules("src/tensor/kernels.cpp"),
-            (std::vector<std::string>{"R1", "R2", "R3", "R4"}));
+            (std::vector<std::string>{"R1", "R2", "R3", "R4", "R6"}));
   EXPECT_EQ(applicable_rules("src/tensor/conv.cpp"),
-            (std::vector<std::string>{"R1", "R2", "R3", "R4"}));
+            (std::vector<std::string>{"R1", "R2", "R3", "R4", "R6"}));
   EXPECT_EQ(applicable_rules("src/fl/aggregation.cpp"),
-            (std::vector<std::string>{"R1", "R3", "R4", "R5"}));
+            (std::vector<std::string>{"R1", "R3", "R4", "R5", "R6"}));
 }
 
 TEST(LintScoping, AllowlistedCoresLoseExactlyTheirRule) {
   using pelta::lint::applicable_rules;
-  // rng core may use OS entropy; it still may not spawn threads.
-  EXPECT_EQ(applicable_rules("src/tensor/rng.h"), (std::vector<std::string>{"R4"}));
+  // rng core may use OS entropy; it still may not spawn threads or raw-lock.
+  EXPECT_EQ(applicable_rules("src/tensor/rng.h"), (std::vector<std::string>{"R4", "R6"}));
   // the pool implements concurrency; it still may not read the wall clock.
-  EXPECT_EQ(applicable_rules("src/tensor/parallel.cpp"), (std::vector<std::string>{"R3"}));
+  EXPECT_EQ(applicable_rules("src/tensor/parallel.cpp"),
+            (std::vector<std::string>{"R3", "R6"}));
   EXPECT_EQ(applicable_rules("src/serve/batcher.cpp"),
-            (std::vector<std::string>{"R3", "R4", "R5"}));
+            (std::vector<std::string>{"R3", "R4", "R5", "R6"}));
+  // the annotated-wrapper home is the one place allowed to touch the raw
+  // primitives; the macro home defines, not uses, the annotations.
+  EXPECT_EQ(applicable_rules("src/core/sync.h"), (std::vector<std::string>{"R3", "R4"}));
+  EXPECT_EQ(applicable_rules("src/core/thread_annotations.h"),
+            (std::vector<std::string>{"R3", "R4"}));
 }
 
 TEST(LintScoping, OutsideSrcNothingApplies) {
@@ -190,6 +200,46 @@ TEST(LintR5, OtherSubsystemsMayUseHashMaps) {
 }
 
 // ---------------------------------------------------------------------------
+// R6: lock discipline (raw primitives + unguarded sync::mutex members)
+// ---------------------------------------------------------------------------
+
+TEST(LintR6, FlagsRawPrimitivesAndUnguardedMembers) {
+  const file_report r = lint_fixture("r6_hit.cpp", "src/serve/server.cpp");
+  EXPECT_EQ(lines_for_rule(r, "R6"), (std::vector<int>{6, 7, 8}));
+  EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(LintR6, AnnotatedWrappersProseAndNonMembersAreClean) {
+  const file_report r = lint_fixture("r6_miss.cpp", "src/serve/server.cpp");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings.front().message << " at line " << r.findings.front().line;
+}
+
+TEST(LintR6, DocumentedExceptionsRideSuppressions) {
+  const file_report r = lint_fixture("r6_suppressed.cpp", "src/autodiff/ops_norm.cpp");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 2);
+}
+
+TEST(LintR6, AnyAnnotationFamilyReferenceCountsAsGuarding) {
+  // A mutex named only by EXCLUDES (a lock-ordering contract, no guarded
+  // field of its own) is still disciplined.
+  const std::string src =
+      "#include \"core/sync.h\"\n"
+      "class port {\n"
+      "  void call() PELTA_EXCLUDES(client_mutex_);\n"
+      "  mutable sync::mutex client_mutex_;\n"
+      "};\n";
+  const file_report r = pelta::lint::lint_source("src/tee/hotcalls.h", src);
+  EXPECT_TRUE(lines_for_rule(r, "R6").empty());
+}
+
+TEST(LintR6, SyncHomeIsExemptByScope) {
+  const file_report r = lint_fixture("r6_hit.cpp", "src/core/sync.h");
+  EXPECT_TRUE(lines_for_rule(r, "R6").empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppression syntax
 // ---------------------------------------------------------------------------
 
@@ -239,6 +289,165 @@ TEST(LintSuppression, SuppressionsDoNotLeakAcrossLines) {
 }
 
 // ---------------------------------------------------------------------------
+// Layering: edge collection out of lint_source
+// ---------------------------------------------------------------------------
+
+TEST(LintEdges, CollectsQuotedIncludesWithSuppressionState) {
+  std::vector<pelta::lint::include_edge> edges;
+  pelta::lint::lint_source("src/alpha/user.cpp", read_fixture("l1_suppressed.cpp"), &edges);
+  ASSERT_EQ(edges.size(), 2u);  // <vector> and the commented include are not edges
+  EXPECT_EQ(edges[0].target, "beta/util.h");
+  EXPECT_EQ(edges[0].line, 5);
+  EXPECT_FALSE(edges[0].suppressed);
+  EXPECT_EQ(edges[1].target, "gamma/exception.h");
+  EXPECT_EQ(edges[1].line, 7);
+  EXPECT_TRUE(edges[1].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// Layering: declaration parsing and DAG checking
+// ---------------------------------------------------------------------------
+
+pelta::lint::layering_spec fixture_spec(const std::string& name) {
+  return pelta::lint::parse_layering_doc(read_fixture(name));
+}
+
+const std::vector<std::string> k_fixture_subs{"alpha", "beta", "delta", "gamma"};
+
+TEST(LintLayering, ParsesAnchoredTables) {
+  const pelta::lint::layering_spec spec = fixture_spec("layering_doc.md");
+  ASSERT_TRUE(spec.parsed) << spec.error;
+  EXPECT_EQ(spec.subsystems,
+            (std::vector<std::string>{"alpha", "beta", "gamma", "delta"}));
+  EXPECT_EQ(spec.allowed, (std::vector<std::pair<std::string, std::string>>{
+                              {"alpha", "beta"}, {"beta", "gamma"},
+                              {"delta", "beta"}, {"delta", "gamma"}}));
+  EXPECT_EQ(spec.vocabulary, (std::vector<std::string>{"src/gamma/vocab.h"}));
+}
+
+TEST(LintLayering, MissingAnchorsAreAnL2Finding) {
+  const pelta::lint::layering_spec spec =
+      pelta::lint::parse_layering_doc("# a page without the anchors\n");
+  EXPECT_FALSE(spec.parsed);
+  const pelta::lint::layering_report r =
+      pelta::lint::check_layering(spec, {}, k_fixture_subs);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "L2");
+  EXPECT_EQ(r.findings[0].file, "docs/ARCHITECTURE.md");
+}
+
+// Edges exercising every declared edge of layering_doc.md, so the checks
+// below start from a stale-free baseline.
+std::vector<pelta::lint::include_edge> all_declared_edges() {
+  return {{"src/alpha/a.cpp", 3, "beta/util.h", false},
+          {"src/beta/b.cpp", 4, "gamma/g.h", false},
+          {"src/delta/d.cpp", 5, "beta/util.h", false},
+          {"src/delta/d.cpp", 6, "gamma/g.h", false}};
+}
+
+TEST(LintLayering, DeclaredEdgesAndIntraSubsystemIncludesAreClean) {
+  std::vector<pelta::lint::include_edge> edges = all_declared_edges();
+  edges.push_back({"src/alpha/a.cpp", 9, "alpha/sibling.h", false});  // implicit
+  const pelta::lint::layering_report r =
+      pelta::lint::check_layering(fixture_spec("layering_doc.md"), edges, k_fixture_subs);
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings.front().file << ": " << r.findings.front().message;
+}
+
+TEST(LintLayering, UndeclaredEdgeIsL1AtTheIncludeLine) {
+  std::vector<pelta::lint::include_edge> edges = all_declared_edges();
+  edges.push_back({"src/alpha/a.cpp", 12, "gamma/g.h", false});  // alpha->gamma undeclared
+  const pelta::lint::layering_report r =
+      pelta::lint::check_layering(fixture_spec("layering_doc.md"), edges, k_fixture_subs);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "L1");
+  EXPECT_EQ(r.findings[0].file, "src/alpha/a.cpp");
+  EXPECT_EQ(r.findings[0].line, 12);
+}
+
+TEST(LintLayering, SuppressedUndeclaredEdgeMovesToSuppressed) {
+  std::vector<pelta::lint::include_edge> edges = all_declared_edges();
+  edges.push_back({"src/alpha/a.cpp", 12, "gamma/g.h", true});
+  const pelta::lint::layering_report r =
+      pelta::lint::check_layering(fixture_spec("layering_doc.md"), edges, k_fixture_subs);
+  EXPECT_TRUE(r.findings.empty());
+  ASSERT_EQ(r.suppressed_findings.size(), 1u);
+  EXPECT_EQ(r.suppressed_findings[0].rule, "L1");
+}
+
+TEST(LintLayering, VocabularyTargetsCreateNoEdgeButVocabularyMustStayPure) {
+  std::vector<pelta::lint::include_edge> edges = all_declared_edges();
+  // alpha -> gamma is undeclared, but vocab.h is a vocabulary header: no edge.
+  edges.push_back({"src/alpha/a.cpp", 12, "gamma/vocab.h", false});
+  // ...and the vocabulary header itself reaching into beta is an L2.
+  edges.push_back({"src/gamma/vocab.h", 2, "beta/util.h", false});
+  const pelta::lint::layering_report r =
+      pelta::lint::check_layering(fixture_spec("layering_doc.md"), edges, k_fixture_subs);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "L2");
+  EXPECT_EQ(r.findings[0].file, "src/gamma/vocab.h");
+}
+
+TEST(LintLayering, StaleDeclaredEdgeIsL2) {
+  std::vector<pelta::lint::include_edge> edges = all_declared_edges();
+  edges.pop_back();  // nobody uses delta -> gamma any more
+  const pelta::lint::layering_report r =
+      pelta::lint::check_layering(fixture_spec("layering_doc.md"), edges, k_fixture_subs);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "L2");
+  EXPECT_NE(r.findings[0].message.find("stale"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("`delta` -> `gamma`"), std::string::npos);
+}
+
+TEST(LintLayering, DeclaredCycleIsL2) {
+  const pelta::lint::layering_report r = pelta::lint::check_layering(
+      fixture_spec("layering_cycle_doc.md"),
+      {{"src/alpha/a.cpp", 3, "beta/b.h", false},
+       {"src/beta/b.cpp", 3, "gamma/g.h", false},
+       {"src/gamma/g.cpp", 3, "alpha/a.h", false}},
+      {"alpha", "beta", "gamma"});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "L2");
+  EXPECT_NE(r.findings[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(LintLayering, SubsystemSetMismatchIsL2BothWays) {
+  // epsilon exists on disk but has no row; delta has a row but no directory.
+  const pelta::lint::layering_report r = pelta::lint::check_layering(
+      fixture_spec("layering_doc.md"), all_declared_edges(),
+      {"alpha", "beta", "epsilon", "gamma"});
+  std::vector<std::string> messages;
+  for (const finding& f : r.findings) messages.push_back(f.message);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_NE(messages[0].find("delta"), std::string::npos);
+  EXPECT_NE(messages[1].find("epsilon"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON report (the CI artifact format)
+// ---------------------------------------------------------------------------
+
+TEST(LintJson, EscapesAndMarksSuppressionState) {
+  pelta::lint::tree_report r;
+  r.files_scanned = 2;
+  r.findings.push_back({"src/a\"b\"\\c.cpp", 3, "R1", "line1\nline2\ttab"});
+  r.suppressed_findings.push_back({"src/d.cpp", 7, "R4", "worker owns the enclave"});
+  r.suppressed = 1;
+  const std::string json = pelta::lint::to_json(r);
+  EXPECT_NE(json.find("\"files_scanned\": 2"), std::string::npos);
+  EXPECT_NE(json.find("a\\\"b\\\"\\\\c.cpp"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": false}"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": true}"), std::string::npos);
+}
+
+TEST(LintJson, EmptyReportIsValid) {
+  const std::string json = pelta::lint::to_json(pelta::lint::tree_report{});
+  EXPECT_NE(json.find("\"files_scanned\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Self-check: the real tree is clean. This is the same walk the
 // lint_pelta_tree CTest entry gates on — if a sweep regression or a rule
 // change breaks one, it breaks both, so they cannot drift apart.
@@ -253,6 +462,33 @@ TEST(LintTree, RealSourceTreeIsClean) {
   // worker thread, conv scatter-adds). More may be added; fewer means a
   // suppression went stale and should be deleted.
   EXPECT_GE(r.suppressed, 4);
+  EXPECT_EQ(static_cast<int>(r.suppressed_findings.size()), r.suppressed);
+}
+
+TEST(LintTree, LiveIncludeGraphMatchesTheDeclaredDag) {
+  // The declaration the tree gate enforces: docs/ARCHITECTURE.md parses, it
+  // names exactly the src/ subsystems, and — via RealSourceTreeIsClean
+  // producing zero L1/L2 — every live edge is declared and no declared edge
+  // is stale. Parsed here explicitly so a doc-format regression gets a
+  // pointed diagnostic instead of a generic tree failure.
+  std::ifstream in(std::string(PELTA_LINT_SOURCE_ROOT) + "/docs/ARCHITECTURE.md",
+                   std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const pelta::lint::layering_spec spec = pelta::lint::parse_layering_doc(buf.str());
+  ASSERT_TRUE(spec.parsed) << spec.error;
+  std::set<std::string> declared(spec.subsystems.begin(), spec.subsystems.end());
+  std::set<std::string> observed;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::string(PELTA_LINT_SOURCE_ROOT) + "/src"))
+    if (entry.is_directory()) observed.insert(entry.path().filename().string());
+  EXPECT_EQ(declared, observed);
+  EXPECT_EQ(spec.vocabulary, (std::vector<std::string>{"src/core/thread_annotations.h",
+                                                       "src/core/sync.h"}));
+
+  const pelta::lint::tree_report r = pelta::lint::lint_tree(PELTA_LINT_SOURCE_ROOT);
+  EXPECT_GT(r.edges.size(), 100u) << "include-edge collection lost the tree?";
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 // training-phase secure update channel.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+
 #include "tee/hotcalls.h"
 #include "tee/profiles.h"
 #include "tee/update_channel.h"
@@ -194,6 +197,40 @@ TEST(HotCalls, TwoClientThreadsSerializeSafely) {
   b.join();
   EXPECT_EQ(e.entry_count(), 200);
   EXPECT_EQ(server.statistics().calls, 200);
+}
+
+// Regression for a lock-discipline defect the thread-safety annotation
+// sweep surfaced: statistics() read calls_/simulated_ns_ WITHOUT
+// client_mutex_ while call() wrote them under it, so a monitor polling a
+// live server raced the client thread (a TSan-visible data race, and a
+// potentially torn double on 32-bit targets). statistics() now locks.
+// This test is the racing workload: a client thread drives store() while
+// the main thread polls — the TSan concurrency leg turns any relapse into
+// a hard failure, and the monotonicity assertions catch torn reads.
+TEST(HotCalls, StatisticsAreSafeToPollWhileAClientCalls) {
+  enclave e{1 << 22};
+  hotcall_server server{e};
+  constexpr std::int64_t k_stores = 200;
+  const tensor v = tensor::zeros({8});
+  std::thread client{[&] {
+    for (std::int64_t i = 0; i < k_stores; ++i) {
+      // Append, not `"k" + to_string(...)` — GCC 12 -Wrestrict, as above.
+      std::string key = "k";
+      key += std::to_string(i % 7);
+      server.store(key, v);
+    }
+  }};
+  hotcall_stats seen;
+  while (seen.calls < k_stores) {
+    const hotcall_stats now = server.statistics();
+    ASSERT_GE(now.calls, seen.calls) << "calls counter went backwards";
+    ASSERT_GE(now.simulated_ns, seen.simulated_ns) << "cost meter went backwards";
+    seen = now;
+  }
+  client.join();
+  const hotcall_stats final_stats = server.statistics();
+  EXPECT_EQ(final_stats.calls, k_stores);
+  EXPECT_GT(final_stats.simulated_ns, 0.0);
 }
 
 TEST(UpdateChannel, LargePullPeriodMatchesADoubleReference) {

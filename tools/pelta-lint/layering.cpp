@@ -1,0 +1,264 @@
+#include "layering.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace pelta::lint {
+
+namespace {
+
+constexpr const char* k_doc = "docs/ARCHITECTURE.md";
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Backtick-quoted tokens in one table cell: "`a`, `b`" -> {a, b}.
+std::vector<std::string> ticks(const std::string& cell) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = cell.find('`', pos)) != std::string::npos) {
+    const std::size_t close = cell.find('`', pos + 1);
+    if (close == std::string::npos) break;
+    const std::string tok = trim(cell.substr(pos + 1, close - pos - 1));
+    if (!tok.empty()) out.push_back(tok);
+    pos = close + 1;
+  }
+  return out;
+}
+
+/// Split one markdown "| a | b |" row into cells (outer pipes stripped).
+std::vector<std::string> cells(const std::string& line) {
+  std::vector<std::string> out;
+  const std::string body = trim(line);
+  std::size_t start = 1;  // past the leading '|'
+  for (std::size_t i = start; i <= body.size(); ++i) {
+    if (i == body.size() || body[i] == '|') {
+      out.push_back(trim(body.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  if (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+struct table_rows {
+  std::vector<std::vector<std::string>> rows;  ///< backtick tokens of cells 0 and 1
+  bool found = false;
+  int line = 0;  ///< 1-based line of the begin anchor
+};
+
+table_rows rows_between(const std::string& markdown, const std::string& begin_anchor,
+                        const std::string& end_anchor) {
+  table_rows out;
+  std::istringstream in(markdown);
+  std::string line;
+  int lineno = 0;
+  bool inside = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find(begin_anchor) != std::string::npos) {
+      out.found = true;
+      out.line = lineno;
+      inside = true;
+      continue;
+    }
+    if (line.find(end_anchor) != std::string::npos) inside = false;
+    if (!inside) continue;
+    const std::string body = trim(line);
+    if (body.empty() || body.front() != '|') continue;
+    const std::vector<std::string> cs = cells(body);
+    if (cs.empty()) continue;
+    const std::vector<std::string> first = ticks(cs[0]);
+    if (first.empty()) continue;  // header or |---| separator row
+    out.rows.push_back({cs[0], cs.size() > 1 ? cs[1] : std::string()});
+  }
+  return out;
+}
+
+}  // namespace
+
+layering_spec parse_layering_doc(const std::string& markdown) {
+  layering_spec spec;
+  const table_rows dag = rows_between(markdown, "pelta-lint: layering-table-begin",
+                                      "pelta-lint: layering-table-end");
+  if (!dag.found) {
+    spec.error =
+        "docs/ARCHITECTURE.md has no `<!-- pelta-lint: layering-table-begin -->` anchor — "
+        "the subsystem dependency DAG must be declared there (the doc is the "
+        "machine-checked source of truth for allowed include edges)";
+    return spec;
+  }
+  if (dag.rows.empty()) {
+    spec.error =
+        "the layering table between the pelta-lint anchors in docs/ARCHITECTURE.md has no "
+        "data rows — every src/ subsystem needs a `| `sub` | allowed, ... |` row";
+    spec.table_line = dag.line;
+    return spec;
+  }
+  spec.table_line = dag.line;
+  for (const auto& row : dag.rows) {
+    const std::string sub = ticks(row[0]).front();
+    spec.subsystems.push_back(sub);
+    for (const std::string& to : ticks(row[1])) spec.allowed.emplace_back(sub, to);
+  }
+  const table_rows vocab = rows_between(markdown, "pelta-lint: vocabulary-headers-begin",
+                                        "pelta-lint: vocabulary-headers-end");
+  for (const auto& row : vocab.rows) spec.vocabulary.push_back(ticks(row[0]).front());
+  spec.parsed = true;
+  return spec;
+}
+
+layering_report check_layering(const layering_spec& spec,
+                               const std::vector<include_edge>& edges,
+                               const std::vector<std::string>& observed_subsystems) {
+  layering_report out;
+  auto add = [&](const std::string& file, int line, const char* rule, std::string msg) {
+    out.findings.push_back(finding{file, line, rule, std::move(msg)});
+  };
+  if (!spec.parsed) {
+    add(k_doc, std::max(1, spec.table_line), "L2", spec.error);
+    return out;
+  }
+  const int doc_line = std::max(1, spec.table_line);
+
+  // --- declaration self-consistency -----------------------------------
+  const std::set<std::string> declared(spec.subsystems.begin(), spec.subsystems.end());
+  {
+    std::set<std::string> seen;
+    for (const std::string& sub : spec.subsystems)
+      if (!seen.insert(sub).second)
+        add(k_doc, doc_line, "L2",
+            "subsystem `" + sub + "` has more than one row in the layering table");
+  }
+  for (const auto& [from, to] : spec.allowed) {
+    if (from == to)
+      add(k_doc, doc_line, "L2",
+          "layering table declares the self-edge `" + from +
+              "` -> `" + to + "` — intra-subsystem includes are implicit; drop it");
+    else if (declared.find(to) == declared.end())
+      add(k_doc, doc_line, "L2",
+          "layering table row for `" + from + "` allows `" + to +
+              "`, which has no row of its own — every named subsystem needs one");
+  }
+
+  // --- declared set must equal the src/ directory set ------------------
+  const std::set<std::string> observed(observed_subsystems.begin(), observed_subsystems.end());
+  for (const std::string& sub : declared)
+    if (observed.find(sub) == observed.end())
+      add(k_doc, doc_line, "L2",
+          "layering table lists `" + sub + "` but src/" + sub +
+              "/ does not exist — remove the stale row");
+  for (const std::string& sub : observed)
+    if (declared.find(sub) == declared.end())
+      add(k_doc, doc_line, "L2",
+          "src/" + sub + "/ exists but the layering table has no row for `" + sub +
+              "` — every subsystem must declare what it may include from");
+
+  // --- the declared graph itself must be a DAG -------------------------
+  {
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [from, to] : spec.allowed)
+      if (from != to) adj[from].push_back(to);
+    std::map<std::string, int> color;  // 0 new, 1 in-stack, 2 done
+    std::vector<std::string> stack;
+    std::string cycle;
+    const std::function<bool(const std::string&)> dfs = [&](const std::string& u) {
+      color[u] = 1;
+      stack.push_back(u);
+      for (const std::string& v : adj[u]) {
+        if (color[v] == 1) {
+          std::string msg;
+          for (auto it = std::find(stack.begin(), stack.end(), v); it != stack.end(); ++it)
+            msg += "`" + *it + "` -> ";
+          cycle = msg + "`" + v + "`";
+          return true;
+        }
+        if (color[v] == 0 && dfs(v)) return true;
+      }
+      stack.pop_back();
+      color[u] = 2;
+      return false;
+    };
+    for (const std::string& sub : spec.subsystems)
+      if (color[sub] == 0 && dfs(sub)) break;
+    if (!cycle.empty())
+      add(k_doc, doc_line, "L2",
+          "the declared layering graph has a cycle: " + cycle +
+              " — the allowed edges must form a DAG (break the cycle with a "
+              "vocabulary header or an interface inversion, not a waiver)");
+  }
+
+  // --- observed edges vs the declaration -------------------------------
+  const std::set<std::string> vocabulary(spec.vocabulary.begin(), spec.vocabulary.end());
+  std::vector<bool> used(spec.allowed.size(), false);
+  for (const include_edge& e : edges) {
+    const bool from_vocab = vocabulary.find(e.from) != vocabulary.end();
+    const bool to_vocab = vocabulary.find("src/" + e.target) != vocabulary.end();
+    if (from_vocab && !to_vocab) {
+      add(e.from, e.line, "L2",
+          "vocabulary header includes non-vocabulary `" + e.target +
+              "` — edge-free status is earned by including nothing from src/ "
+              "except other vocabulary headers");
+      continue;
+    }
+    if (to_vocab) continue;  // vocabulary includes create no layering edge
+    std::string from_sub, to_sub;
+    if (e.from.compare(0, 4, "src/") == 0) {
+      const std::size_t slash = e.from.find('/', 4);
+      if (slash != std::string::npos) from_sub = e.from.substr(4, slash - 4);
+    }
+    const std::size_t slash = e.target.find('/');
+    if (slash != std::string::npos) to_sub = e.target.substr(0, slash);
+    if (from_sub.empty() || to_sub.empty()) continue;  // not a subsystem-rooted include
+    if (declared.find(to_sub) == declared.end() && observed.find(to_sub) == observed.end())
+      continue;  // quoted path outside the subsystem namespace (e.g. generated)
+    if (from_sub == to_sub) continue;  // intra-subsystem, implicit
+    bool allowed = false;
+    for (std::size_t i = 0; i < spec.allowed.size(); ++i) {
+      if (spec.allowed[i].first == from_sub && spec.allowed[i].second == to_sub) {
+        used[i] = true;
+        allowed = true;
+        break;
+      }
+    }
+    if (allowed) continue;
+    finding f{e.from, e.line, "L1",
+              "undeclared cross-subsystem include: `" + from_sub + "` -> `" + to_sub +
+                  "` (`" + e.target +
+                  "`) — add the edge to the layering table in docs/ARCHITECTURE.md or "
+                  "suppress with `// pelta-lint: allow(L1) <reason>`"};
+    if (e.suppressed)
+      out.suppressed_findings.push_back(std::move(f));
+    else
+      out.findings.push_back(std::move(f));
+  }
+
+  // --- stale declared edges: the doc must match the tree, not outrun it --
+  for (std::size_t i = 0; i < spec.allowed.size(); ++i) {
+    const auto& [from, to] = spec.allowed[i];
+    if (used[i] || from == to || declared.find(to) == declared.end()) continue;
+    if (observed.find(from) == observed.end() || observed.find(to) == observed.end()) continue;
+    add(k_doc, doc_line, "L2",
+        "declared edge `" + from + "` -> `" + to +
+            "` is stale — no #include in src/ uses it; drop it from the table so "
+            "the declaration stays the tree's actual shape");
+  }
+
+  const auto order = [](const finding& a, const finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  };
+  std::sort(out.findings.begin(), out.findings.end(), order);
+  std::sort(out.suppressed_findings.begin(), out.suppressed_findings.end(), order);
+  return out;
+}
+
+}  // namespace pelta::lint

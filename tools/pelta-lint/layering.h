@@ -1,0 +1,86 @@
+// pelta-lint layering pass — the include-graph half of the checker.
+//
+// The per-file rules (lint.h) keep individual lines honest; this pass keeps
+// the *architecture* honest. Every `#include "sub/..."` directive in src/ is
+// an edge in the subsystem graph, and docs/ARCHITECTURE.md declares — in a
+// machine-parsed markdown table between HTML-comment anchors — which edges
+// are allowed. The doc IS the declaration: there is no second config file to
+// drift from it, so an include the table does not permit fails the lint gate,
+// and a table row the tree no longer exercises fails it too (stale docs are
+// a finding, not a footnote).
+//
+// Two rules come out of the pass:
+//
+//   L1  an observed cross-subsystem include edge that the declared DAG does
+//       not allow. Suppressible per include line with
+//       `// pelta-lint: allow(L1) <reason>` for a deliberate, documented
+//       exception.
+//   L2  structural problems — docs/ARCHITECTURE.md missing or its anchored
+//       table unparseable, a cycle in the *declared* graph (the allowed
+//       edges must form a DAG even before the tree is consulted), a declared
+//       edge no include uses (stale), a subsystem-set mismatch between the
+//       table and src/'s directories, or a vocabulary header including a
+//       non-vocabulary file. Not suppressible: these are defects of the
+//       declaration itself, so the fix is the doc, not a waiver.
+//
+// Vocabulary headers (core/thread_annotations.h, core/sync.h) are the escape
+// hatch that keeps the graph a DAG: every subsystem needs the annotation
+// macros and the annotated mutex, but tensor -> core -> tensor would be a
+// cycle. A header listed in the doc's vocabulary table creates no edge when
+// included — and in exchange may itself include nothing from src/ except
+// other vocabulary headers.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.h"
+
+namespace pelta::lint {
+
+/// The layering declaration parsed out of docs/ARCHITECTURE.md.
+struct layering_spec {
+  std::vector<std::string> subsystems;  ///< one per table row, in row order
+  /// Declared allowed edges, (from, to). Self-edges are implicit and must
+  /// NOT be declared (check_layering flags them).
+  std::vector<std::pair<std::string, std::string>> allowed;
+  std::vector<std::string> vocabulary;  ///< repo-relative paths ("src/core/sync.h")
+  bool parsed = false;                  ///< anchors found and >= 1 row read
+  std::string error;                    ///< why parsing failed, when !parsed
+  int table_line = 0;                   ///< 1-based line of the layering-table anchor
+};
+
+/// Parse the anchored tables out of ARCHITECTURE.md markdown:
+///
+///   <!-- pelta-lint: layering-table-begin -->
+///   | Subsystem | May include from |
+///   |---|---|
+///   | `serve` | `defenses`, `models`, ... |
+///   <!-- pelta-lint: layering-table-end -->
+///
+/// and (optional; no vocabulary headers when absent):
+///
+///   <!-- pelta-lint: vocabulary-headers-begin -->
+///   | Header | Why it is edge-free |
+///   | `src/core/sync.h` | ... |
+///   <!-- pelta-lint: vocabulary-headers-end -->
+///
+/// Only backtick-quoted tokens in the first two cells are meaningful, so the
+/// prose around them can change freely. An em-dash / empty second cell means
+/// "may include from nothing".
+layering_spec parse_layering_doc(const std::string& markdown);
+
+struct layering_report {
+  std::vector<finding> findings;             ///< L1 + L2
+  std::vector<finding> suppressed_findings;  ///< L1 silenced by allow(L1)
+};
+
+/// Check the observed include edges (from lint_source/lint_tree) against the
+/// declared spec. `observed_subsystems` is the set of src/ subdirectories —
+/// the table must list exactly that set.
+layering_report check_layering(const layering_spec& spec,
+                               const std::vector<include_edge>& edges,
+                               const std::vector<std::string>& observed_subsystems);
+
+}  // namespace pelta::lint

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "layering.h"
 
 namespace pelta::lint {
 
@@ -346,6 +349,14 @@ bool r4_applies(const std::string& p) {
 bool r5_applies(const std::string& p) {
   return starts_with(p, "src/fl/") || starts_with(p, "src/serve/");
 }
+// core/sync.h is where the annotated wrappers live (it has to touch the raw
+// std:: primitives once); core/thread_annotations.h defines the macros.
+// Everyone else must go through the wrappers — same exemption pattern as
+// rng.h for R3 and parallel.{h,cpp} for R4.
+bool r6_applies(const std::string& p) {
+  return starts_with(p, "src/") && p != "src/core/sync.h" &&
+         p != "src/core/thread_annotations.h";
+}
 
 }  // namespace
 
@@ -358,16 +369,50 @@ std::vector<std::string> applicable_rules(const std::string& rel_path) {
   if (r3_applies(p)) rules.push_back("R3");
   if (r4_applies(p)) rules.push_back("R4");
   if (r5_applies(p)) rules.push_back("R5");
+  if (r6_applies(p)) rules.push_back("R6");
   return rules;
 }
 
-file_report lint_source(const std::string& rel_path, const std::string& content) {
+file_report lint_source(const std::string& rel_path, const std::string& content,
+                        std::vector<include_edge>* edges) {
   std::string path = rel_path;
   std::replace(path.begin(), path.end(), '\\', '/');
 
   const scrubbed_source sc = scrub(content);
   const std::string& s = sc.text;
   const std::vector<std::size_t> starts = line_starts(s);
+
+  auto l1_suppressed_on = [&](int line) {
+    for (const suppression& sup : sc.suppressions) {
+      if (!sup.well_formed || !sup.has_reason) continue;
+      if (sup.line != line && !(sup.own_line && sup.line + 1 == line)) continue;
+      if (std::find(sup.rules.begin(), sup.rules.end(), std::string("L1")) != sup.rules.end())
+        return true;
+    }
+    return false;
+  };
+  if (edges) {
+    // Include directives live in the *original* text (the quoted path is a
+    // string literal, scrubbed to spaces), but the '#' survives scrubbing,
+    // which is how a directive quoted inside a comment is told apart.
+    std::size_t pos = 0;
+    while ((pos = content.find("#include", pos)) != std::string::npos) {
+      const std::size_t here = pos;
+      pos += 8;
+      if (s[here] != '#') continue;  // commented-out include
+      std::size_t q = content.find_first_of("\"<\n", here + 8);
+      if (q == std::string::npos || content[q] != '"') continue;  // <system> header
+      const std::size_t close = content.find('"', q + 1);
+      if (close == std::string::npos) continue;
+      include_edge e;
+      e.from = path;
+      e.line = line_of(starts, here);
+      e.target = content.substr(q + 1, close - q - 1);
+      std::replace(e.target.begin(), e.target.end(), '\\', '/');
+      e.suppressed = l1_suppressed_on(e.line);
+      edges->push_back(e);
+    }
+  }
 
   std::vector<finding> raw;
   auto add = [&](std::size_t pos, const char* rule, std::string msg) {
@@ -472,6 +517,62 @@ file_report lint_source(const std::string& rel_path, const std::string& content)
                 "with a reason if access is point-lookup only");
   }
 
+  // ---- R6: raw locks / unguarded sync::mutex members ---------------------
+  if (r6_applies(path)) {
+    for (const char* t :
+         {"std::mutex", "std::timed_mutex", "std::recursive_mutex",
+          "std::recursive_timed_mutex", "std::shared_mutex", "std::shared_timed_mutex",
+          "std::condition_variable", "std::condition_variable_any", "std::lock_guard",
+          "std::scoped_lock", "std::unique_lock", "std::shared_lock"})
+      for (std::size_t pos : find_word(s, t))
+        add(pos, "R6",
+            std::string(t) +
+                " outside src/core/sync.h — locks must be the annotated pelta::sync "
+                "wrappers so Clang's -Wthread-safety can see every acquire (a raw "
+                "std primitive is invisible to the analysis)");
+
+    // Every sync::mutex *member* (trailing-underscore convention) must be
+    // named by at least one PELTA_* annotation in the same file: a mutex
+    // nothing is annotated against is dead or hiding an unannotated field.
+    std::vector<std::string> annotation_args;
+    for (const char* macro :
+         {"PELTA_GUARDED_BY", "PELTA_PT_GUARDED_BY", "PELTA_REQUIRES", "PELTA_ACQUIRE",
+          "PELTA_RELEASE", "PELTA_TRY_ACQUIRE", "PELTA_EXCLUDES", "PELTA_RETURN_CAPABILITY"}) {
+      for (std::size_t pos : find_word(s, macro, /*allow_colon_prefix=*/false)) {
+        std::size_t p = pos + std::string(macro).size();
+        while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
+        if (p >= s.size() || s[p] != '(') continue;
+        int depth = 0;
+        std::size_t q = p;
+        for (; q < s.size(); ++q) {
+          if (s[q] == '(') ++depth;
+          if (s[q] == ')' && --depth == 0) break;
+        }
+        annotation_args.push_back(s.substr(p + 1, q - p - 1));
+      }
+    }
+    auto annotated = [&](const std::string& name) {
+      for (const std::string& args : annotation_args)
+        if (!find_word(args, name, /*allow_colon_prefix=*/false).empty()) return true;
+      return false;
+    };
+    for (std::size_t pos : find_word(s, "sync::mutex")) {
+      std::size_t p = pos + std::string("sync::mutex").size();
+      while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
+      if (p < s.size() && (s[p] == '&' || s[p] == '*')) continue;  // param/return, not an owning member
+      std::size_t b = p;
+      while (p < s.size() && is_ident_char(s[p])) ++p;
+      const std::string name = s.substr(b, p - b);
+      if (name.empty() || name.back() != '_') continue;  // locals/statics: no member convention
+      if (!annotated(name))
+        add(pos, "R6",
+            "sync::mutex member `" + name +
+                "` is never named by a PELTA_GUARDED_BY / PELTA_REQUIRES-family "
+                "annotation in this file — a mutex that guards nothing is dead "
+                "or hiding an unannotated field");
+    }
+  }
+
   // ---- suppressions -------------------------------------------------------
   file_report report;
   for (const suppression& sup : sc.suppressions) {
@@ -496,14 +597,16 @@ file_report lint_source(const std::string& rel_path, const std::string& content)
   };
   for (finding& f : raw) {
     if (suppressed_by(f))
-      ++report.suppressed;
+      report.suppressed_findings.push_back(std::move(f));
     else
       report.findings.push_back(std::move(f));
   }
-  std::sort(report.findings.begin(), report.findings.end(),
-            [](const finding& a, const finding& b) {
-              return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
-            });
+  const auto by_position = [](const finding& a, const finding& b) {
+    return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
+  };
+  std::sort(report.findings.begin(), report.findings.end(), by_position);
+  std::sort(report.suppressed_findings.begin(), report.suppressed_findings.end(), by_position);
+  report.suppressed = static_cast<int>(report.suppressed_findings.size());
   return report;
 }
 
@@ -524,12 +627,78 @@ tree_report lint_tree(const std::string& root) {
     buf << in.rdbuf();
     const std::string rel =
         fs::relative(f, fs::path(root)).generic_string();
-    file_report r = lint_source(rel, buf.str());
+    file_report r = lint_source(rel, buf.str(), &out.edges);
     ++out.files_scanned;
     out.suppressed += r.suppressed;
     out.findings.insert(out.findings.end(), r.findings.begin(), r.findings.end());
+    out.suppressed_findings.insert(out.suppressed_findings.end(), r.suppressed_findings.begin(),
+                                   r.suppressed_findings.end());
+  }
+
+  // Layering pass: collapse the observed include edges onto the subsystem
+  // graph and check them against the DAG declared in docs/ARCHITECTURE.md.
+  std::vector<std::string> observed;
+  for (const auto& entry : fs::directory_iterator(base))
+    if (entry.is_directory()) observed.push_back(entry.path().filename().generic_string());
+  std::sort(observed.begin(), observed.end());
+  std::string doc;
+  {
+    std::ifstream in(fs::path(root) / "docs" / "ARCHITECTURE.md", std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    doc = buf.str();
+  }
+  const layering_report lr = check_layering(parse_layering_doc(doc), out.edges, observed);
+  out.findings.insert(out.findings.end(), lr.findings.begin(), lr.findings.end());
+  out.suppressed_findings.insert(out.suppressed_findings.end(), lr.suppressed_findings.begin(),
+                                 lr.suppressed_findings.end());
+  out.suppressed += static_cast<int>(lr.suppressed_findings.size());
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
+}
+
+}  // namespace
+
+std::string to_json(const tree_report& report) {
+  std::ostringstream o;
+  o << "{\n  \"files_scanned\": " << report.files_scanned
+    << ",\n  \"suppressed\": " << report.suppressed << ",\n  \"findings\": [";
+  bool first = true;
+  const auto emit = [&](const finding& f, bool suppressed) {
+    o << (first ? "\n" : ",\n") << "    {\"file\": \"" << json_escape(f.file)
+      << "\", \"line\": " << f.line << ", \"rule\": \"" << json_escape(f.rule)
+      << "\", \"message\": \"" << json_escape(f.message)
+      << "\", \"suppressed\": " << (suppressed ? "true" : "false") << "}";
+    first = false;
+  };
+  for (const finding& f : report.findings) emit(f, false);
+  for (const finding& f : report.suppressed_findings) emit(f, true);
+  o << (first ? "]" : "\n  ]") << "\n}\n";
+  return o.str();
 }
 
 }  // namespace pelta::lint

@@ -35,6 +35,21 @@
 //       src/serve (deterministic aggregation/report paths). This
 //       over-approximates "no iteration" on purpose: a point-lookup-only
 //       use is fine but must say so via a suppression.
+//   R6  lock discipline stays compiler-checkable: raw std::mutex /
+//       std::condition_variable (and friends) are forbidden in src/
+//       outside core/sync.h — locks must be the annotated pelta::sync
+//       wrappers so Clang's -Wthread-safety can see them — and every
+//       sync::mutex *member* (trailing-underscore convention) must be
+//       named by at least one PELTA_GUARDED_BY / PELTA_REQUIRES-family
+//       annotation in the same file: a mutex that guards nothing is
+//       either dead or hiding an unannotated field.
+//
+// Besides the per-file rules, the tree walk runs a *layering* pass
+// (layering.h): every `#include "sub/..."` edge is collapsed onto the
+// subsystem graph and checked against the DAG declared in
+// docs/ARCHITECTURE.md. Undeclared cross-subsystem edges are rule L1
+// (suppressible per include line); structural problems — a cycle in the
+// declared DAG, a stale declared edge, doc drift — are rule L2.
 //
 // Suppression syntax (reason mandatory, same line or the line above):
 //   ... flagged code ...  // pelta-lint: allow(R4) worker owns the enclave
@@ -49,13 +64,24 @@ namespace pelta::lint {
 struct finding {
   std::string file;     ///< repo-relative path, forward slashes
   int line = 0;         ///< 1-based
-  std::string rule;     ///< "R1".."R5", or "suppression" for malformed allows
+  std::string rule;     ///< "R1".."R6", "L1"/"L2", or "suppression"
   std::string message;  ///< human-readable diagnostic
 };
 
 struct file_report {
   std::vector<finding> findings;
-  int suppressed = 0;  ///< findings silenced by a well-formed allow()
+  /// Findings silenced by a well-formed allow(), kept for --json output.
+  std::vector<finding> suppressed_findings;
+  int suppressed = 0;  ///< == suppressed_findings.size()
+};
+
+/// One `#include "..."` directive pointing inside src/, as seen by the
+/// layering pass. `target` is the include path as written ("fl/network.h").
+struct include_edge {
+  std::string from;       ///< repo-relative includer ("src/serve/server.cpp")
+  int line = 0;           ///< 1-based line of the directive
+  std::string target;     ///< quoted include path, forward slashes
+  bool suppressed = false;  ///< an allow(L1) with reason covers this line
 };
 
 /// Rule ids that apply to a repo-relative path ("src/fl/async.cpp").
@@ -63,16 +89,28 @@ struct file_report {
 std::vector<std::string> applicable_rules(const std::string& rel_path);
 
 /// Lint one in-memory source. `rel_path` selects the applicable rules, so
-/// fixture snippets can masquerade as any tree location.
-file_report lint_source(const std::string& rel_path, const std::string& content);
+/// fixture snippets can masquerade as any tree location. When `edges` is
+/// non-null, every quoted include directive is appended to it (with its
+/// allow(L1) suppression state) for the layering pass.
+file_report lint_source(const std::string& rel_path, const std::string& content,
+                        std::vector<include_edge>* edges = nullptr);
 
 struct tree_report {
   std::vector<finding> findings;
+  std::vector<finding> suppressed_findings;  ///< for --json; counts in `suppressed`
+  std::vector<include_edge> edges;           ///< every in-src include edge observed
   int files_scanned = 0;
   int suppressed = 0;
 };
 
-/// Walk <root>/src and lint every *.h / *.cpp file.
+/// Walk <root>/src and lint every *.h / *.cpp file, then run the layering
+/// pass against the DAG declared in <root>/docs/ARCHITECTURE.md.
 tree_report lint_tree(const std::string& root);
+
+/// Machine-readable report (satellite of the CI static-analysis job):
+/// {"files_scanned": N, "suppressed": N, "findings": [{"file", "line",
+/// "rule", "message", "suppressed"}...]} — suppressed findings included,
+/// flagged true, so the artifact shows the whole picture.
+std::string to_json(const tree_report& report);
 
 }  // namespace pelta::lint
