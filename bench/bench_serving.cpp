@@ -37,10 +37,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <vector>
 
 #include "bench/common.h"
+#include "models/mlp.h"
 #include "models/vit.h"
 #include "serve/server.h"
 #include "shield/shield.h"
@@ -88,6 +88,35 @@ struct sweep_point {
   double sim_p50_ms = 0.0;      // per-request simulated latency percentiles
   double sim_p95_ms = 0.0;
 };
+
+// The quantized-backend leg: fp32 model_backend vs serve::quantized_backend
+// over the same workload, on a chain-compilable MLP victim (the ViT above is
+// not chain-shaped). The simulated clock has no int8 notion of its own, so
+// the quantized leg's compute_ns_per_sample is the fp32 constant scaled by
+// the MEASURED per-forward kernel ratio.
+struct quant_leg_result {
+  double fp32_wall_best_s = 1e300;
+  double int8_wall_best_s = 1e300;
+  double fp32_sim_span_ns = 0.0;
+  double int8_sim_span_ns = 0.0;
+  double kernel_ratio = 0.0;  // measured int8/fp32 per-forward wall time
+  std::size_t stages_quantized = 0;
+  std::size_t stages_fp32 = 0;
+  bool bits_ok = true;  // batched int8 rows == batch-1 int8 rows, bitwise
+};
+
+bench::json quantized_leg_json(const quant_leg_result& leg, std::int64_t n) {
+  return bench::json::object()
+      .field("model", "serving-mlp")
+      .field("stages_quantized", leg.stages_quantized)
+      .field("stages_fp32", leg.stages_fp32)
+      .field("measured_kernel_ratio_int8_vs_fp32", leg.kernel_ratio)
+      .field("fp32_sim_rps", static_cast<double>(n) / (leg.fp32_sim_span_ns / 1e9))
+      .field("fp32_wall_rps", static_cast<double>(n) / leg.fp32_wall_best_s)
+      .field("int8_sim_rps", static_cast<double>(n) / (leg.int8_sim_span_ns / 1e9))
+      .field("int8_wall_rps", static_cast<double>(n) / leg.int8_wall_best_s)
+      .field("int8_bits_batch_invariant", leg.bits_ok);
+}
 
 }  // namespace
 
@@ -218,6 +247,92 @@ int main() {
     }
   }
 
+  // ---- quantized-backend leg -------------------------------------------------
+  quant_leg_result quant_leg;
+  {
+    models::mlp_config mc;
+    mc.name = "serving-mlp";
+    mc.image_size = 16;
+    mc.channels = 3;
+    mc.hidden = {256, 128};
+    mc.classes = 6;
+    mc.seed = 2023;
+    const models::mlp_model mlp{mc};
+
+    // Calibration shard: the first (up to) 32 workload images.
+    const std::int64_t calib_n = std::min<std::int64_t>(32, n);
+    const std::int64_t px = 3 * 16 * 16;
+    tensor calib{shape_t{calib_n, 3, 16, 16}};
+    for (std::int64_t i = 0; i < calib_n; ++i)
+      std::memcpy(calib.data().data() + i * px,
+                  workload[static_cast<std::size_t>(i)].image.data().data(),
+                  sizeof(float) * static_cast<std::size_t>(px));
+
+    // Default keep-fp32 policy: the shield-frontier prefix stays fp32.
+    serve::quantized_backend qbackend{mlp, calib};
+    quant_leg.stages_quantized = qbackend.report().stages_quantized;
+    quant_leg.stages_fp32 = qbackend.report().stages_fp32;
+
+    // Measured per-forward kernel ratio, interleaved best-of like every
+    // other wall number here; it prices the quantized simulated clock.
+    {
+      double fp32_best = 1e300, int8_best = 1e300;
+      for (std::int64_t r = 0; r < rounds; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        models::predict_logits(mlp, calib);
+        fp32_best = std::min(fp32_best, seconds_since(t0));
+        t0 = std::chrono::steady_clock::now();
+        models::predict_logits(qbackend.model(), calib);
+        int8_best = std::min(int8_best, seconds_since(t0));
+      }
+      quant_leg.kernel_ratio = int8_best / fp32_best;
+    }
+
+    serve::server_config qcfg = cost_model;
+    qcfg.policy = {32, 2e6};
+    qcfg.compute_ns_per_sample = cost_model.compute_ns_per_sample * quant_leg.kernel_ratio;
+
+    for (std::int64_t round = 0; round < rounds; ++round) {
+      {
+        tee::enclave enclave;
+        serve::model_backend backend{mlp};
+        serve::server_config cfg = cost_model;
+        cfg.policy = {32, 2e6};
+        serve::server srv{backend, enclave, cfg};
+        const auto t0 = std::chrono::steady_clock::now();
+        const serve::serving_report report = srv.run(workload);
+        quant_leg.fp32_wall_best_s = std::min(quant_leg.fp32_wall_best_s, seconds_since(t0));
+        quant_leg.fp32_sim_span_ns = report.simulated_span_ns();
+      }
+      {
+        tee::enclave enclave;
+        serve::server srv{qbackend, enclave, qcfg};
+        const auto t0 = std::chrono::steady_clock::now();
+        const serve::serving_report report = srv.run(workload);
+        quant_leg.int8_wall_best_s = std::min(quant_leg.int8_wall_best_s, seconds_since(t0));
+        quant_leg.int8_sim_span_ns = report.simulated_span_ns();
+        if (round == 0) {
+          // Batched int8 rows must equal a batch-1 int8 forward bitwise —
+          // quantization must not loosen the serving determinism contract.
+          for (std::int64_t i = 0; i < n; ++i) {
+            const tensor& got = report.results[static_cast<std::size_t>(i)].logits;
+            const tensor want = models::predict_logits(
+                qbackend.model(),
+                workload[static_cast<std::size_t>(i)].image.reshape(shape_t{1, 3, 16, 16}));
+            if (got.numel() != want.numel() ||
+                std::memcmp(got.data().data(), want.data().data(),
+                            static_cast<std::size_t>(got.numel()) * sizeof(float)) != 0) {
+              quant_leg.bits_ok = false;
+              std::printf("BIT MISMATCH: quantized leg request %lld\n",
+                          static_cast<long long>(i));
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
   // ---- report ---------------------------------------------------------------
   const double serial_sim_rps = static_cast<double>(n) / (serial_sim_span_ns / 1e9);
   const double serial_wall_rps = static_cast<double>(n) / serial_wall_best_s;
@@ -252,41 +367,55 @@ int main() {
               "on a single hardware core and grows with PELTA_THREADS)\n",
               gated_wall_ratio,
               (static_cast<double>(n) / sweep.back().wall_best_s) / seq_exec_wall_rps);
+  std::printf("\nquantized backend (serving-mlp, batch 32, %zu int8 / %zu fp32 stages):\n"
+              "  fp32 %8.0f req/s sim %9.0f req/s wall   int8 %8.0f req/s sim %9.0f req/s wall\n"
+              "  measured kernel ratio %.3fx (prices the int8 simulated clock)  batch-invariant "
+              "bits: %s\n",
+              quant_leg.stages_quantized, quant_leg.stages_fp32,
+              static_cast<double>(n) / (quant_leg.fp32_sim_span_ns / 1e9),
+              static_cast<double>(n) / quant_leg.fp32_wall_best_s,
+              static_cast<double>(n) / (quant_leg.int8_sim_span_ns / 1e9),
+              static_cast<double>(n) / quant_leg.int8_wall_best_s, quant_leg.kernel_ratio,
+              quant_leg.bits_ok ? "yes" : "NO");
 
   // ---- machine-readable trajectory record -----------------------------------
   {
-    std::ofstream js("BENCH_serving.json");
-    js << "{\n  \"bench\": \"serving\",\n  \"threads\": " << parallel_thread_count()
-       << ",\n  \"requests\": " << n << ",\n  \"batch_setup_ns\": " << cost_model.batch_setup_ns
-       << ",\n  \"compute_ns_per_sample\": " << cost_model.compute_ns_per_sample
-       << ",\n  \"serial_sim_rps\": " << serial_sim_rps
-       << ",\n  \"serial_wall_rps\": " << serial_wall_rps
-       << ",\n  \"serial_modeled_tee_ns_per_request\": "
-       << serial_modeled_tee_ns / static_cast<double>(n)
-       << ",\n  \"pipeline_depth\": 0"  // 0 = auto (min(4, max(2, threads)))
-       << ",\n  \"seq_exec_wall_rps_batch32\": " << seq_exec_wall_rps
-       << ",\n  \"batched\": [\n";
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
-      const sweep_point& point = sweep[i];
+    bench::json batched = bench::json::array();
+    for (const sweep_point& point : sweep) {
       const double sim_rps = static_cast<double>(n) / (point.sim_span_ns / 1e9);
-      js << "    {\"max_batch\": " << point.max_batch << ", \"sim_rps\": " << sim_rps
-         << ", \"wall_rps\": " << static_cast<double>(n) / point.wall_best_s
-         << ", \"sim_speedup_vs_serial\": " << sim_rps / serial_sim_rps
-         << ", \"mean_batch_size\": " << point.mean_batch_size
-         << ", \"modeled_tee_ns_per_request\": " << point.modeled_tee_ns_per_request
-         << ", \"sim_latency_p50_ms\": " << point.sim_p50_ms
-         << ", \"sim_latency_p95_ms\": " << point.sim_p95_ms << "}"
-         << (i + 1 < sweep.size() ? "," : "") << "\n";
+      batched.push(bench::json::object()
+                       .field("max_batch", point.max_batch)
+                       .field("sim_rps", sim_rps)
+                       .field("wall_rps", static_cast<double>(n) / point.wall_best_s)
+                       .field("sim_speedup_vs_serial", sim_rps / serial_sim_rps)
+                       .field("mean_batch_size", point.mean_batch_size)
+                       .field("modeled_tee_ns_per_request", point.modeled_tee_ns_per_request)
+                       .field("sim_latency_p50_ms", point.sim_p50_ms)
+                       .field("sim_latency_p95_ms", point.sim_p95_ms));
     }
-    js << "  ],\n  \"speedup_threshold\": " << threshold
-       << ",\n  \"gated_sim_speedup_batch32\": " << gated_speedup
-       << ",\n  \"wall_ratio_threshold\": " << wall_ratio_threshold
-       << ",\n  \"gated_wall_ratio_batch32\": " << gated_wall_ratio
-       << ",\n  \"bits_match_serial\": " << (bits_ok ? "true" : "false") << "\n}\n";
+    bench::json::object()
+        .field("bench", "serving")
+        .field("threads", parallel_thread_count())
+        .field("requests", n)
+        .field("batch_setup_ns", cost_model.batch_setup_ns)
+        .field("compute_ns_per_sample", cost_model.compute_ns_per_sample)
+        .field("serial_sim_rps", serial_sim_rps)
+        .field("serial_wall_rps", serial_wall_rps)
+        .field("serial_modeled_tee_ns_per_request",
+               serial_modeled_tee_ns / static_cast<double>(n))
+        .field("pipeline_depth", 0)  // 0 = auto (min(4, max(2, threads)))
+        .field("seq_exec_wall_rps_batch32", seq_exec_wall_rps)
+        .field("batched", batched)
+        .field("quantized", quantized_leg_json(quant_leg, n))
+        .field("speedup_threshold", threshold)
+        .field("gated_sim_speedup_batch32", gated_speedup)
+        .field("wall_ratio_threshold", wall_ratio_threshold)
+        .field("gated_wall_ratio_batch32", gated_wall_ratio)
+        .field("bits_match_serial", bits_ok)
+        .write_file("BENCH_serving.json");
   }
-  std::printf("wrote BENCH_serving.json\n");
 
-  bool ok = bits_ok;
+  bool ok = bits_ok && quant_leg.bits_ok;
   if (threshold > 0 && gated_speedup < threshold) {
     std::printf("FAIL: batch-32 dynamic batching at %.2fx simulated, below the %.1fx gate\n",
                 gated_speedup, threshold);

@@ -9,8 +9,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
@@ -18,6 +21,97 @@
 #include "models/zoo.h"
 
 namespace pelta::bench {
+
+/// Insertion-ordered JSON builder for the BENCH_*.json trajectory records.
+/// The hand-rolled writers it replaces had drifted apart (ad-hoc quoting,
+/// per-bench trailing-comma logic, no escaping); every bench must emit its
+/// machine-readable record through this one code path so the schema files
+/// in docs/BENCHMARKS.md stay trustworthy. Field order is emission order.
+class json {
+public:
+  static json object() { return json{false}; }
+  static json array() { return json{true}; }
+
+  json& field(const std::string& key, double v) { return raw(key, number(v)); }
+  json& field(const std::string& key, std::int64_t v) { return raw(key, std::to_string(v)); }
+  json& field(const std::string& key, int v) { return field(key, static_cast<std::int64_t>(v)); }
+  json& field(const std::string& key, std::size_t v) {
+    return field(key, static_cast<std::int64_t>(v));
+  }
+  json& field(const std::string& key, bool v) { return raw(key, v ? "true" : "false"); }
+  json& field(const std::string& key, const char* v) { return raw(key, quote(v)); }
+  json& field(const std::string& key, const std::string& v) { return raw(key, quote(v)); }
+  json& field(const std::string& key, const json& v) { return raw(key, v.str()); }
+
+  json& push(const json& v) {
+    entries_.emplace_back(std::string{}, v.str());
+    return *this;
+  }
+
+  /// Render with 2-space indentation (one field / element per line).
+  std::string str() const {
+    const char open = is_array_ ? '[' : '{';
+    const char close = is_array_ ? ']' : '}';
+    if (entries_.empty()) return {open, close};
+    std::string out(1, open);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out += "\n  ";
+      if (!is_array_) {
+        out += quote(entries_[i].first);
+        out += ": ";
+      }
+      out += indented(entries_[i].second);
+      if (i + 1 < entries_.size()) out += ',';
+    }
+    out += '\n';
+    out += close;
+    return out;
+  }
+
+  /// Write `str()` to `path` (with trailing newline) and log the path.
+  void write_file(const std::string& path) const {
+    std::ofstream os(path);
+    os << str() << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+private:
+  explicit json(bool is_array) : is_array_{is_array} {}
+
+  json& raw(const std::string& key, std::string rendered) {
+    entries_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  static std::string number(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  /// Re-indent a pre-rendered (possibly multi-line) child by one level.
+  static std::string indented(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      out += c;
+      if (c == '\n') out += "  ";
+    }
+    return out;
+  }
+
+  bool is_array_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 inline std::int64_t env_int(const char* name, std::int64_t fallback) {
   if (const char* v = std::getenv(name)) {

@@ -30,6 +30,9 @@ public:
     return grads;
   }
 
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+
 private:
   std::int64_t stride_;
   std::int64_t pad_;
@@ -173,6 +176,14 @@ private:
 
 op_ptr make_conv2d(std::int64_t stride, std::int64_t pad, bool with_bias) {
   return std::make_unique<conv2d_op>(stride, pad, with_bias);
+}
+
+bool conv2d_geometry_of(const op& o, std::int64_t* stride, std::int64_t* pad) {
+  const auto* c = dynamic_cast<const conv2d_op*>(&o);
+  if (c == nullptr) return false;
+  *stride = c->stride();
+  *pad = c->pad();
+  return true;
 }
 op_ptr make_maxpool2x2() { return std::make_unique<maxpool_op>(); }
 op_ptr make_global_avgpool() { return std::make_unique<global_avgpool_op>(); }

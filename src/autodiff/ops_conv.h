@@ -10,6 +10,11 @@ namespace pelta::ad {
 /// operation the paper folds into the first shielded BiT layer.
 op_ptr make_conv2d(std::int64_t stride, std::int64_t pad, bool with_bias);
 
+/// Introspection for the quantizing compile pass (nn/compile): recover a
+/// conv2d instance's geometry (bias presence follows from its parent count).
+/// Returns false for any other op.
+bool conv2d_geometry_of(const op& o, std::int64_t* stride, std::int64_t* pad);
+
 /// 2x2 max pooling, stride 2. Parent: (x).
 op_ptr make_maxpool2x2();
 

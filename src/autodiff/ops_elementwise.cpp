@@ -83,6 +83,8 @@ public:
   explicit scale_op(float s) : s_{s} {}
   std::string_view name() const override { return "scale"; }
 
+  float factor() const { return s_; }
+
   tensor forward(std::span<const tensor* const> in) override {
     PELTA_CHECK(in.size() == 1);
     return ops::mul_scalar(*in[0], s_);
@@ -101,6 +103,9 @@ class affine_op final : public op {
 public:
   affine_op(float scale, float shift) : scale_{scale}, shift_{shift} {}
   std::string_view name() const override { return "affine"; }
+
+  float scale() const { return scale_; }
+  float shift() const { return shift_; }
 
   tensor forward(std::span<const tensor* const> in) override {
     PELTA_CHECK(in.size() == 1);
@@ -278,6 +283,21 @@ op_ptr make_add_broadcast() { return std::make_unique<add_broadcast_op>(); }
 op_ptr make_mul() { return std::make_unique<mul_op>(); }
 op_ptr make_scale(float s) { return std::make_unique<scale_op>(s); }
 op_ptr make_affine(float scale, float shift) { return std::make_unique<affine_op>(scale, shift); }
+
+bool scale_params_of(const op& o, float* s) {
+  const auto* p = dynamic_cast<const scale_op*>(&o);
+  if (p == nullptr) return false;
+  *s = p->factor();
+  return true;
+}
+
+bool affine_params_of(const op& o, float* scale, float* shift) {
+  const auto* p = dynamic_cast<const affine_op*>(&o);
+  if (p == nullptr) return false;
+  *scale = p->scale();
+  *shift = p->shift();
+  return true;
+}
 op_ptr make_relu() { return std::make_unique<relu_op>(); }
 op_ptr make_gelu() { return std::make_unique<gelu_op>(); }
 op_ptr make_softmax_lastdim() { return std::make_unique<softmax_lastdim_op>(); }

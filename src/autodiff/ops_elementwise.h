@@ -22,6 +22,13 @@ op_ptr make_scale(float s);
 /// transform (dataset mean/std folding, e.g. (x - 0.5) * 4).
 op_ptr make_affine(float scale, float shift);
 
+/// Introspection for the quantizing compile pass (nn/compile): recover the
+/// fixed scalars of a scale/affine op instance (the classes live in this
+/// TU's anonymous namespace). Return false for any other op.
+bool scale_params_of(const op& o, float* s);
+/// True for an affine op; *scale and *shift satisfy y = scale * (x + shift).
+bool affine_params_of(const op& o, float* scale, float* shift);
+
 op_ptr make_relu();
 
 /// GELU with the tanh approximation (as in ViT MLP blocks).

@@ -67,6 +67,8 @@ public:
     return {g.reshape(in[0]->shape())};
   }
 
+  const shape_t& target_shape() const { return new_shape_; }
+
 private:
   shape_t new_shape_;
 };
@@ -245,6 +247,11 @@ op_ptr make_matmul() { return std::make_unique<matmul_op>(); }
 op_ptr make_bmm() { return std::make_unique<bmm_op>(); }
 op_ptr make_transpose_last2() { return std::make_unique<transpose_last2_op>(); }
 op_ptr make_reshape(shape_t new_shape) { return std::make_unique<reshape_op>(std::move(new_shape)); }
+
+const shape_t* reshape_shape_of(const op& o) {
+  const auto* r = dynamic_cast<const reshape_op*>(&o);
+  return r != nullptr ? &r->target_shape() : nullptr;
+}
 op_ptr make_slice_lastdim(std::int64_t start, std::int64_t len) {
   return std::make_unique<slice_lastdim_op>(start, len);
 }

@@ -18,6 +18,12 @@ op_ptr make_transpose_last2();
 /// View with a new shape (numel preserved).
 op_ptr make_reshape(shape_t new_shape);
 
+/// Target shape of a reshape op instance, nullptr for any other op. The op
+/// classes live in this TU's anonymous namespace, so introspection for the
+/// quantizing compile pass (nn/compile) is exported here instead of via
+/// header-visible types.
+const shape_t* reshape_shape_of(const op& o);
+
 /// x[..., start : start+len] over the last dimension (per-head split).
 op_ptr make_slice_lastdim(std::int64_t start, std::int64_t len);
 

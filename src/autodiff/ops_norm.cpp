@@ -136,6 +136,10 @@ public:
   }
   std::string_view name() const override { return "batchnorm2d"; }
 
+  const batchnorm_stats* stats() const { return stats_; }
+  norm_mode mode() const { return mode_; }
+  float eps() const { return eps_; }
+
   tensor forward(std::span<const tensor* const> in) override {
     PELTA_CHECK(in.size() == 3);
     const tensor& x = *in[0];
@@ -368,6 +372,15 @@ private:
 op_ptr make_layernorm_lastdim(float eps) { return std::make_unique<layernorm_op>(eps); }
 op_ptr make_batchnorm2d(batchnorm_stats* stats, norm_mode mode, float momentum, float eps) {
   return std::make_unique<batchnorm2d_op>(stats, mode, momentum, eps);
+}
+
+bool batchnorm_params_of(const op& o, const batchnorm_stats** stats, float* eps, bool* is_eval) {
+  const auto* bn = dynamic_cast<const batchnorm2d_op*>(&o);
+  if (bn == nullptr) return false;
+  *stats = bn->stats();
+  *eps = bn->eps();
+  *is_eval = bn->mode() == norm_mode::eval;
+  return true;
 }
 op_ptr make_groupnorm(std::int64_t groups, float eps) {
   return std::make_unique<groupnorm_op>(groups, eps);

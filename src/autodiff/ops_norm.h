@@ -25,6 +25,12 @@ enum class norm_mode : std::uint8_t { train, eval };
 op_ptr make_batchnorm2d(batchnorm_stats* stats, norm_mode mode, float momentum = 0.1f,
                         float eps = 1e-5f);
 
+/// Introspection for the quantizing compile pass (nn/compile): recover a
+/// batchnorm2d instance's stats buffer, eps and mode (folding into conv
+/// scales/bias is only sound in eval mode, where the op is a fixed
+/// per-channel affine). Returns false for any other op.
+bool batchnorm_params_of(const op& o, const batchnorm_stats** stats, float* eps, bool* is_eval);
+
 /// Group normalization over [B, C, H, W] with `groups` channel groups
 /// (BiT uses GN instead of BN). Parents: (x, gamma [C], beta [C]).
 op_ptr make_groupnorm(std::int64_t groups, float eps = 1e-5f);

@@ -1,0 +1,93 @@
+// Post-training quantization of a trained model into a servable
+// `models::model` (the user-facing face of the nn/compile pass).
+//
+// quantize_model() traces one eval-mode forward pass of the source model
+// over a held-out calibration shard, parses it into a replayable chain
+// (nn/compile.h), plans fusion, folds + quantizes the planned groups and
+// calibrates each stage's per-tensor activation scale from the observed
+// fp32 activations of that same pass. The result owns copies of every
+// source parameter and batch-norm buffer — the source model is not retained.
+//
+// Keep-fp32 policy: by default every chain step up to and including the
+// DEEPEST shield-frontier tag stays fp32 — the layers the PELTA shield
+// masks inside the enclave keep their exact fp32 semantics, and only the
+// clear suffix is quantized. Passing explicit `keep_fp32_tags` (or
+// quantize_all) overrides this; the attack-placement bench sweeps exactly
+// that knob (masked layers int8 vs fp32 against PGD/BPDA success).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/compile.h"
+
+namespace pelta::models {
+
+struct quantize_options {
+  /// Chain steps whose tags appear here replay in fp32. Empty = default
+  /// policy (shield frontier prefix stays fp32) unless `quantize_all`.
+  std::vector<std::string> keep_fp32_tags;
+  /// Quantize every fusable stage, including the shield frontier prefix —
+  /// the "masked layers quantized" arm of the placement sweep.
+  bool quantize_all = false;
+};
+
+/// What the compile pass did, for reports and benches.
+struct quantize_report {
+  std::size_t stages_total = 0;      ///< fusion groups (quantized + fp32 runs)
+  std::size_t stages_quantized = 0;
+  std::size_t stages_fp32 = 0;
+  std::vector<std::string> quantized_tags;  ///< tags of the fused int8 stages
+  std::vector<std::string> kept_fp32_tags;  ///< effective keep-fp32 policy
+};
+
+/// A compiled int8 model. Inference-only: forward() PELTA_CHECKs eval mode.
+/// Shield frontier tags are preserved (a fused stage carries its group's
+/// last source tag), so shielding and attack tooling address the quantized
+/// model exactly like the source.
+class quantized_model final : public model {
+public:
+  const std::string& name() const override { return name_; }
+  std::int64_t num_classes() const override { return classes_; }
+  forward_pass forward(const tensor& images, ad::norm_mode mode) const override;
+  nn::param_store& params() override { return params_; }
+  const nn::param_store& params() const override { return params_; }
+  std::vector<std::string> shield_frontier_tags() const override { return frontier_; }
+  std::vector<ad::batchnorm_stats*> batchnorm_buffers() const override;
+
+private:
+  friend std::unique_ptr<quantized_model> quantize_model(const model& source,
+                                                         const tensor& calibration_images,
+                                                         const quantize_options& opts,
+                                                         quantize_report* report);
+  quantized_model() = default;
+
+  /// One replay entry: a fused int8 stage, or one fp32 chain step with its
+  /// operands resolved into this model's own parameter store.
+  struct replay_step {
+    nn::chain_step step;
+    std::shared_ptr<const nn::quantized_stage> stage;  ///< null = fp32 replay
+    std::vector<ad::parameter*> params;                ///< fp32 operands (ours)
+    ad::batchnorm_stats* stats = nullptr;              ///< fp32 batch norm (ours)
+  };
+
+  std::string name_;
+  std::int64_t classes_ = 0;
+  std::vector<std::string> frontier_;
+  nn::param_store params_;
+  std::vector<std::unique_ptr<ad::batchnorm_stats>> bn_buffers_;
+  std::vector<replay_step> steps_;
+};
+
+/// Compile `source` into an int8 model, calibrating activation scales over
+/// `calibration_images` (one eval forward; [B,C,H,W], B >= 1). Fails loudly
+/// (PELTA_CHECK) on non-chain graphs, train-mode batch norm, transform
+/// operands, or a frontier tag that would not survive compilation.
+std::unique_ptr<quantized_model> quantize_model(const model& source,
+                                                const tensor& calibration_images,
+                                                const quantize_options& opts = {},
+                                                quantize_report* report = nullptr);
+
+}  // namespace pelta::models

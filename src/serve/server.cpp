@@ -115,6 +115,17 @@ tensor model_backend::run_batch(const tensor& images, const std::vector<std::int
   return fp.graph.value(fp.logits);
 }
 
+quantized_backend::quantized_backend(const models::model& source,
+                                     const tensor& calibration_images,
+                                     models::quantize_options opts, std::string key_prefix)
+    : model_{models::quantize_model(source, calibration_images, opts, &report_)},
+      inner_{*model_, std::move(key_prefix)} {}
+
+tensor quantized_backend::run_batch(const tensor& images, const std::vector<std::int64_t>& ids,
+                                    tee::secure_store& sink, batch_stats* stats) {
+  return inner_.run_batch(images, ids, sink, stats);
+}
+
 ensemble_backend::ensemble_backend(const models::random_selection_ensemble& ensemble,
                                    std::uint64_t seed, std::string key_prefix)
     : ensemble_{&ensemble}, seed_{seed}, key_prefix_{std::move(key_prefix)} {

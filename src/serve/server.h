@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "defenses/preprocessor.h"
+#include "models/compiler.h"
 #include "models/ensemble.h"
 #include "models/model.h"
 #include "serve/batcher.h"
@@ -79,6 +80,32 @@ public:
 private:
   const models::model* model_;
   std::string key_prefix_;
+};
+
+/// One model compiled to int8 at construction (models/compiler.h):
+/// calibrates activation scales over `calibration_images`, keeps the
+/// shield-frontier prefix fp32 by default (override via `opts` — the
+/// placement sweep's knob), then serves exactly like model_backend: same
+/// shield application, same simulated-clock accounting; only the wall-clock
+/// forward runs the fused int8 kernels.
+class quantized_backend final : public shielded_backend {
+public:
+  quantized_backend(const models::model& source, const tensor& calibration_images,
+                    models::quantize_options opts = {}, std::string key_prefix = "serve/");
+
+  std::int64_t num_classes() const override { return inner_.num_classes(); }
+  tensor run_batch(const tensor& images, const std::vector<std::int64_t>& ids,
+                   tee::secure_store& sink, batch_stats* stats) override;
+
+  /// The compiled model (e.g. for accuracy checks against the source).
+  const models::quantized_model& model() const { return *model_; }
+  /// What the compile pass quantized vs kept fp32.
+  const models::quantize_report& report() const { return report_; }
+
+private:
+  models::quantize_report report_;
+  std::unique_ptr<models::quantized_model> model_;  ///< must outlive inner_
+  model_backend inner_;
 };
 
 /// Random-selection ensemble (MULDEF policy): each request's member is

@@ -30,7 +30,13 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <cstring>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "tensor/check.h"
 #include "tensor/scratch.h"
 
 namespace pelta::ops::detail {
@@ -217,6 +223,192 @@ bool any_zero_in(const float* p, std::int64_t count) {
   return false;
 }
 
+// ---- int8 quantized GEMM ----------------------------------------------------
+//
+// Mirrors the fp32 structure above — MR x 16 register tiles, k-blocking,
+// zero-padded packed edge panels — but every accumulation is int32 and
+// therefore exactly associative: no zero-skip gate, no fmadd policy, and
+// bit-identity across tile shapes, ISAs and thread splits holds by
+// construction rather than by rounding-sequence discipline. The operand
+// encoding (shifted-u8 A, 7-bit s8 B, -128*colsum compensation base) is
+// documented in kernels.h.
+
+constexpr std::int64_t KGQ = k_qgemm_kg;  // 4 k-bytes per group (one vpmaddubsw lane)
+constexpr std::int64_t NRQ = k_qgemm_nr;  // 16-column packed panels
+constexpr std::int64_t KCQ = 256;         // k-groups per block: 1024 k, 16 KB panel block
+
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+
+// One ROWS x 16 tile, 512-bit VNNI form: a packed k-group is exactly one
+// zmm (16 columns x 4 k-bytes), so each (group, row) step is a single
+// vpdpbusd — u8*s8 quads summed straight into the 16 int32 column lanes,
+// the same exact integers as the AVX2 and scalar forms. Edge panels use
+// lane masks instead of staging buffers; masked-off lanes load as zero and
+// are never stored.
+template <int ROWS>
+inline void qgemm_tile_vnni512(const std::uint8_t* a, std::int64_t lda, const std::int8_t* panel,
+                               std::int32_t* out, std::int64_t ldo, std::int64_t groups,
+                               std::int64_t jn) {
+  const __mmask16 lanes = static_cast<__mmask16>((1u << jn) - 1u);
+  __m512i acc[ROWS];
+  for (int r = 0; r < ROWS; ++r) acc[r] = _mm512_maskz_loadu_epi32(lanes, out + r * ldo);
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const __m512i b = _mm512_loadu_si512(panel + g * NRQ * KGQ);
+    for (int r = 0; r < ROWS; ++r) {
+      std::int32_t a4;
+      std::memcpy(&a4, a + r * lda + g * KGQ, sizeof(a4));
+      acc[r] = _mm512_dpbusd_epi32(acc[r], _mm512_set1_epi32(a4), b);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) _mm512_mask_storeu_epi32(out + r * ldo, lanes, acc[r]);
+}
+
+#elif defined(__AVX2__)
+
+// One ROWS x 16 tile over `groups` k-groups of a packed panel. Per group a
+// row contributes 4 consecutive shifted-u8 bytes, broadcast as one 32-bit
+// lane. With VNNI one vpdpbusd forms the u8*s8 quad dot product straight
+// into the int32 column lanes; the plain-AVX2 fallback gets the same exact
+// integers from vpmaddubsw (|pair| <= 2*255*63 = 32130 < 2^15, so the
+// int16 stage cannot saturate) widened by vpmaddwd.
+template <int ROWS>
+inline void qgemm_tile_avx2(const std::uint8_t* a, std::int64_t lda, const std::int8_t* panel,
+                            std::int32_t* out, std::int64_t ldo, std::int64_t groups,
+                            std::int64_t jn) {
+  __m256i accl[ROWS];  // columns 0..7
+  __m256i acch[ROWS];  // columns 8..15
+  if (jn == NRQ) {
+    for (int r = 0; r < ROWS; ++r) {
+      accl[r] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + r * ldo));
+      acch[r] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + r * ldo + 8));
+    }
+  } else {
+    alignas(32) std::int32_t tmp[NRQ];
+    for (int r = 0; r < ROWS; ++r) {
+      for (std::int64_t j = 0; j < jn; ++j) tmp[j] = out[r * ldo + j];
+      for (std::int64_t j = jn; j < NRQ; ++j) tmp[j] = 0;  // pad lanes, never stored
+      accl[r] = _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp));
+      acch[r] = _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp + 8));
+    }
+  }
+#if !(defined(__AVX512VNNI__) && defined(__AVX512VL__)) && !defined(__AVXVNNI__)
+  const __m256i ones = _mm256_set1_epi16(1);
+#endif
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(panel + g * NRQ * KGQ));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(panel + g * NRQ * KGQ + 32));
+    for (int r = 0; r < ROWS; ++r) {
+      std::int32_t a4;
+      std::memcpy(&a4, a + r * lda + g * KGQ, sizeof(a4));
+      const __m256i av = _mm256_set1_epi32(a4);
+#if defined(__AVX512VNNI__) && defined(__AVX512VL__)
+      accl[r] = _mm256_dpbusd_epi32(accl[r], av, b0);
+      acch[r] = _mm256_dpbusd_epi32(acch[r], av, b1);
+#elif defined(__AVXVNNI__)
+      accl[r] = _mm256_dpbusd_avx_epi32(accl[r], av, b0);
+      acch[r] = _mm256_dpbusd_avx_epi32(acch[r], av, b1);
+#else
+      const __m256i p0 = _mm256_maddubs_epi16(av, b0);
+      const __m256i p1 = _mm256_maddubs_epi16(av, b1);
+      accl[r] = _mm256_add_epi32(accl[r], _mm256_madd_epi16(p0, ones));
+      acch[r] = _mm256_add_epi32(acch[r], _mm256_madd_epi16(p1, ones));
+#endif
+    }
+  }
+  if (jn == NRQ) {
+    for (int r = 0; r < ROWS; ++r) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + r * ldo), accl[r]);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + r * ldo + 8), acch[r]);
+    }
+  } else {
+    alignas(32) std::int32_t tmp[NRQ];
+    for (int r = 0; r < ROWS; ++r) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), accl[r]);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + 8), acch[r]);
+      for (std::int64_t j = 0; j < jn; ++j) out[r * ldo + j] = tmp[j];
+    }
+  }
+}
+
+#else
+
+// Portable tile: same packed layout, same per-group 4-byte dot products,
+// int32 from the first multiply — integer-exact, so bitwise identical to
+// the AVX2 instantiation (pad products are exact zeros on both paths).
+template <int ROWS>
+inline void qgemm_tile_scalar(const std::uint8_t* a, std::int64_t lda, const std::int8_t* panel,
+                              std::int32_t* out, std::int64_t ldo, std::int64_t groups,
+                              std::int64_t jn) {
+  std::int32_t iacc[ROWS][NRQ];
+  for (int r = 0; r < ROWS; ++r) {
+    for (std::int64_t j = 0; j < jn; ++j) iacc[r][j] = out[r * ldo + j];
+    for (std::int64_t j = jn; j < NRQ; ++j) iacc[r][j] = 0;  // pad lanes
+  }
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const std::int8_t* bg = panel + g * NRQ * KGQ;
+    for (int r = 0; r < ROWS; ++r) {
+      const std::uint8_t* ag = a + r * lda + g * KGQ;
+      for (std::int64_t j = 0; j < NRQ; ++j) {
+        const std::int8_t* bj = bg + j * KGQ;
+        iacc[r][j] += static_cast<std::int32_t>(ag[0]) * bj[0] +
+                      static_cast<std::int32_t>(ag[1]) * bj[1] +
+                      static_cast<std::int32_t>(ag[2]) * bj[2] +
+                      static_cast<std::int32_t>(ag[3]) * bj[3];
+      }
+    }
+  }
+  for (int r = 0; r < ROWS; ++r)
+    for (std::int64_t j = 0; j < jn; ++j) out[r * ldo + j] = iacc[r][j];
+}
+
+#endif
+
+template <int ROWS>
+inline void qgemm_tile(const std::uint8_t* a, std::int64_t lda, const std::int8_t* panel,
+                       std::int32_t* out, std::int64_t ldo, std::int64_t groups,
+                       std::int64_t jn) {
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+  qgemm_tile_vnni512<ROWS>(a, lda, panel, out, ldo, groups, jn);
+#elif defined(__AVX2__)
+  qgemm_tile_avx2<ROWS>(a, lda, panel, out, ldo, groups, jn);
+#else
+  qgemm_tile_scalar<ROWS>(a, lda, panel, out, ldo, groups, jn);
+#endif
+}
+
+// Primary row-tile height. The 512-bit VNNI tile holds one zmm accumulator
+// per row (32 registers available), so 8 rows amortize the panel load and
+// keep 8 independent vpdpbusd dependency chains in flight; the ymm forms
+// need two accumulators per row and stay at the fp32 MR to fit 16
+// registers.
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+constexpr std::int64_t MRQ = 8;
+#else
+constexpr std::int64_t MRQ = MR;
+#endif
+
+// All row tiles of one packed column panel: MRQ blocks, then the remainder
+// — the fp32 panel_rows shape, minus Skip/JSTORE templating (the store
+// mask is the runtime `jn`; integer results cannot drift).
+void qgemm_panel_rows(const std::uint8_t* a, std::int64_t lda, const std::int8_t* panel,
+                      std::int32_t* out, std::int64_t ldo, std::int64_t groups, std::int64_t m,
+                      std::int64_t jn) {
+  std::int64_t i = 0;
+  for (; i + MRQ <= m; i += MRQ)
+    qgemm_tile<MRQ>(a + i * lda, lda, panel, out + i * ldo, ldo, groups, jn);
+  switch (m - i) {
+    case 7: qgemm_tile<7>(a + i * lda, lda, panel, out + i * ldo, ldo, groups, jn); break;
+    case 6: qgemm_tile<6>(a + i * lda, lda, panel, out + i * ldo, ldo, groups, jn); break;
+    case 5: qgemm_tile<5>(a + i * lda, lda, panel, out + i * ldo, ldo, groups, jn); break;
+    case 4: qgemm_tile<4>(a + i * lda, lda, panel, out + i * ldo, ldo, groups, jn); break;
+    case 3: qgemm_tile<3>(a + i * lda, lda, panel, out + i * ldo, ldo, groups, jn); break;
+    case 2: qgemm_tile<2>(a + i * lda, lda, panel, out + i * ldo, ldo, groups, jn); break;
+    case 1: qgemm_tile<1>(a + i * lda, lda, panel, out + i * ldo, ldo, groups, jn); break;
+    default: break;
+  }
+}
+
 }  // namespace
 
 void gemm_accumulate(const float* a, const float* b, float* out, std::int64_t m, std::int64_t k,
@@ -240,6 +432,47 @@ void gemm_accumulate_bt(const float* a, const float* bt, float* out, std::int64_
     gemm_bt_blocked<true>(a, bt, out, m, k, n);
   else
     gemm_bt_blocked<false>(a, bt, out, m, k, n);
+}
+
+void qgemm_pack_b(const std::int8_t* b, std::int64_t k, std::int64_t n, std::int8_t* packed) {
+  const std::int64_t groups = qgemm_k_groups(k);
+  const std::int64_t panels = (n + NRQ - 1) / NRQ;
+  for (std::int64_t p = 0; p < panels; ++p) {
+    std::int8_t* dst = packed + p * groups * NRQ * KGQ;
+    for (std::int64_t g = 0; g < groups; ++g) {
+      for (std::int64_t j = 0; j < NRQ; ++j) {
+        const std::int64_t col = p * NRQ + j;
+        for (std::int64_t kk = 0; kk < KGQ; ++kk) {
+          const std::int64_t row = g * KGQ + kk;
+          dst[g * NRQ * KGQ + j * KGQ + kk] =
+              (col < n && row < k) ? b[row * n + col] : std::int8_t{0};
+        }
+      }
+    }
+  }
+}
+
+void qgemm(const std::uint8_t* a, std::int64_t lda, const std::int8_t* packed,
+           const std::int32_t* colsum, std::int32_t* out, std::int64_t m, std::int64_t k,
+           std::int64_t n) {
+  if (m <= 0 || n <= 0) return;
+  PELTA_CHECK_MSG(lda >= qgemm_row_stride(k), "qgemm A row stride " << lda << " < k " << k);
+  // |base| + |raw| <= k * 63 * (128 + 255): depth 65536 still clears int32.
+  PELTA_CHECK_MSG(k <= 65536, "qgemm depth " << k << " overflows int32 accumulation");
+  // The -128*colsum compensation is the accumulation base; the tiles then
+  // add the raw shifted-u8 products on top (see kernels.h).
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) out[i * n + j] = -128 * colsum[j];
+  if (k <= 0) return;
+  const std::int64_t groups = qgemm_k_groups(k);
+  for (std::int64_t g0 = 0; g0 < groups; g0 += KCQ) {
+    const std::int64_t gc = std::min(KCQ, groups - g0);
+    const std::uint8_t* ablk = a + g0 * KGQ;
+    for (std::int64_t j = 0, p = 0; j < n; j += NRQ, ++p) {
+      const std::int8_t* panel = packed + (p * groups + g0) * NRQ * KGQ;
+      qgemm_panel_rows(ablk, lda, panel, out + j, n, gc, m, std::min(NRQ, n - j));
+    }
+  }
 }
 
 }  // namespace pelta::ops::detail

@@ -92,4 +92,59 @@ void gemm_accumulate(const float* a, const float* b, float* out, std::int64_t m,
 void gemm_accumulate_bt(const float* a, const float* bt, float* out, std::int64_t m,
                         std::int64_t k, std::int64_t n, finite_cache& bt_finite);
 
+// ---- int8 quantized GEMM ----------------------------------------------------
+//
+// Operand encoding (see tensor/quantized_tensor.h for the quantization
+// helpers that produce it):
+//   * A holds activations as SHIFTED unsigned bytes: stored value
+//     a_u8 = q_a + 128 with q_a in [-127, 127], so a_u8 in [1, 255].
+//   * B holds per-output-channel 7-bit weights: q_w in [-63, 63] as plain
+//     int8. The 7-bit clamp is what makes the AVX2 vpmaddubsw path exact:
+//     a u8*s8 product pair is bounded by 2 * 255 * 63 = 32130 < 2^15 - 1,
+//     so the instruction's saturating s16 pair-sum can never saturate.
+//   * The kernel computes out[i][j] = sum_k (a_u8 - 128) * q_w as int32 by
+//     accumulating the raw sum_k a_u8 * q_w and pre-loading the output with
+//     the -128 * colsum[j] compensation term (colsum[j] = sum_k q_w[kk][j]).
+//     Integer accumulation is exact and associative, so every path (AVX2,
+//     scalar fallback, any row split across PELTA_THREADS) produces
+//     bit-identical int32 results by construction.
+
+/// Bytes per k-group: vpmaddubsw consumes 4 consecutive k bytes per lane.
+inline constexpr std::int64_t k_qgemm_kg = 4;
+/// Packed panel width (columns per panel), matching the fp32 tile width.
+inline constexpr std::int64_t k_qgemm_nr = 16;
+
+/// Number of 4-wide k-groups covering k (k zero-padded up to a multiple of 4).
+inline std::int64_t qgemm_k_groups(std::int64_t k) {
+  return (k + k_qgemm_kg - 1) / k_qgemm_kg;
+}
+
+/// Required row stride (in bytes) of an A panel for depth k. Bytes in
+/// [k, stride) of each row are don't-care: they only ever multiply the
+/// packed B pad entries, which are zero.
+inline std::int64_t qgemm_row_stride(std::int64_t k) {
+  return qgemm_k_groups(k) * k_qgemm_kg;
+}
+
+/// Packed-B size in int8 elements for a [k, n] weight matrix: panels of 16
+/// columns x qgemm_k_groups(k) groups x 64 bytes, n padded up to 16.
+inline std::int64_t qgemm_packed_size(std::int64_t k, std::int64_t n) {
+  return (n + k_qgemm_nr - 1) / k_qgemm_nr * qgemm_k_groups(k) * k_qgemm_nr * k_qgemm_kg;
+}
+
+/// Pack row-major int8 B [k, n] into the kernel layout
+/// [n_pad/16][k_groups][16 columns][4 k-bytes]; pad columns (n -> n_pad)
+/// and pad k-bytes (k -> 4*k_groups) are zero-filled, which is what makes
+/// A's pad bytes don't-care and keeps the edge panels fixed-trip.
+void qgemm_pack_b(const std::int8_t* b, std::int64_t k, std::int64_t n, std::int8_t* packed);
+
+/// out[m,n] (int32, row stride n, OVERWRITTEN) = (a - 128) * b using packed
+/// B and its column sums. a: shifted-u8 rows with row stride lda >=
+/// qgemm_row_stride(k). Callers may split m across threads at any grain —
+/// rows are independent and integer-exact, so the split is bitwise
+/// invisible (round the grain to k_gemm_mr for full row tiles, as fp32).
+void qgemm(const std::uint8_t* a, std::int64_t lda, const std::int8_t* packed,
+           const std::int32_t* colsum, std::int32_t* out, std::int64_t m, std::int64_t k,
+           std::int64_t n);
+
 }  // namespace pelta::ops::detail

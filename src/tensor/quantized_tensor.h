@@ -1,0 +1,81 @@
+// Post-training int8 quantization vocabulary for the inference path.
+//
+// Scheme (docs/ARCHITECTURE.md "Quantized inference"):
+//   * Activations: per-TENSOR symmetric. scale s_x = amax / 127 (amax
+//     observed over a held-out calibration shard), code q = rne(x / s_x)
+//     clamped to [-127, 127], STORED shifted-unsigned as q + 128 so the
+//     GEMM kernel's u8*s8 multiply applies (tensor/kernels.h).
+//   * Weights: per-OUTPUT-CHANNEL symmetric, 7-bit. For a GEMM-B matrix
+//     [k, n] column j is one output channel: s_w[j] = max_k |w| / 63,
+//     q = rne(w / s_w[j]) clamped to [-63, 63]. The 7-bit range is a
+//     kernel contract, not a whim: it bounds the u8*s8 pair sums below
+//     int16 saturation on the AVX2 path.
+//   * Accumulation: int32, exact (the R1 float-accumulation rule exempts
+//     integer `+=` — there is no rounding sequence to pin down).
+//   * Dequantization: y = fmadd(float(acc), s_x * s_w[j], bias[j]) through
+//     detail::fmadd, the house fp32 accumulation policy, so the float side
+//     of the quantized path rounds exactly once per element like every
+//     other kernel.
+//
+// Rounding is explicit round-to-nearest-even (not std::nearbyint, whose
+// result hangs off the ambient FP environment): quantized codes must be a
+// pure function of the fp32 inputs for the bitwise determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pelta::quant {
+
+/// Shift added to activation codes for unsigned storage.
+inline constexpr std::int32_t k_act_zero = 128;
+/// Activation code magnitude bound: q in [-127, 127], stored [1, 255].
+inline constexpr std::int32_t k_act_qmax = 127;
+/// Weight code magnitude bound (7-bit; see header comment).
+inline constexpr std::int32_t k_weight_qmax = 63;
+
+/// Round to nearest, ties to even — independent of the FP environment.
+std::int32_t round_nearest_even(float x);
+
+/// Largest |x| over `count` floats (0 for an empty range).
+float absmax(const float* x, std::int64_t count);
+
+/// Per-tensor activation scale from an observed absolute maximum.
+/// A degenerate range (amax <= 0, e.g. an all-zero calibration response)
+/// falls back to scale 1: every value quantizes to the zero code.
+float activation_scale(float amax);
+
+/// Quantize `count` activations to shifted-u8 codes at `scale`:
+/// out[i] = clamp(rne(x[i] * (1/scale)), -127, 127) + 128. The reciprocal
+/// is computed once per call — one rounding choice, applied uniformly, so
+/// codes are a deterministic function of (x, scale) alone.
+void quantize_activations(const float* x, std::int64_t count, float scale, std::uint8_t* out);
+
+/// Dequantized value of one shifted-u8 activation code.
+float dequantize_activation(std::uint8_t code, float scale);
+
+/// Per-output-channel quantized weights of one GEMM-B matrix [k, n],
+/// pre-packed for ops::detail::qgemm.
+struct quantized_weights {
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  std::vector<std::int8_t> codes;     ///< unpacked [k, n] codes (reference + backward)
+  std::vector<std::int8_t> packed;    ///< qgemm panel layout (kernels.h)
+  std::vector<std::int32_t> colsums;  ///< [n] sum_k q_w[kk][j] (u8-shift compensation)
+  std::vector<float> scales;          ///< [n] per-channel s_w
+};
+
+/// Quantize fp32 B [k, n] row-major (column j = output channel j):
+/// per-channel 7-bit symmetric scales, packed + column-summed for qgemm.
+/// An all-zero channel gets scale 1 (all-zero codes).
+quantized_weights quantize_weights_kn(const float* w, std::int64_t k, std::int64_t n);
+
+/// Dequantize an int32 GEMM result [m, n] (row stride n):
+///   out[i][j] = fmadd(float(acc[i][j]), act_scale * w_scales[j], bias[j])
+/// with bias == nullptr reading as zeros, then out = max(out, 0) when
+/// `fuse_relu` — the epilogue of every fused quantized layer. Combined
+/// per-column scales are staged in the thread's scratch arena.
+void dequantize_rows(const std::int32_t* acc, std::int64_t m, std::int64_t n, float act_scale,
+                     const float* w_scales, const float* bias, bool fuse_relu, float* out);
+
+}  // namespace pelta::quant

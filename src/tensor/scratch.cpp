@@ -9,7 +9,7 @@ namespace pelta {
 
 namespace {
 
-constexpr std::size_t k_alignment = 64;  // one cache line; covers any SIMD width
+constexpr std::size_t k_alignment = scratch_arena::k_claim_alignment;  // one cache line
 constexpr std::size_t k_min_block_floats = 1024;
 
 float* allocate_floats(std::size_t count) {

@@ -29,7 +29,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
+
+#include "tensor/check.h"
 
 namespace pelta {
 
@@ -64,8 +67,37 @@ private:
   std::size_t prev_used_ = 0;  // that block's bump offset before the claim
 };
 
+/// Typed RAII checkout for non-float kernel workspaces (int8/int32 panels of
+/// the quantized GEMM path). Wraps a scratch_buffer, so LIFO discipline,
+/// move semantics and release-on-destruction are identical; the element type
+/// is a reinterpretation of the same 64-byte-aligned float claim. Obtain via
+/// scratch_arena::take_typed<T>() — never by casting a take() result, so the
+/// alignment guarantee is asserted in exactly one place.
+template <typename T>
+class scratch_typed {
+public:
+  scratch_typed() = default;
+
+  T* data() const { return reinterpret_cast<T*>(buf_.data()); }
+  std::size_t size() const { return count_; }
+  std::span<T> span() const { return {data(), count_}; }
+
+private:
+  friend class scratch_arena;
+  scratch_typed(scratch_buffer buf, std::size_t count)
+      : buf_{std::move(buf)}, count_{count} {}
+
+  scratch_buffer buf_;
+  std::size_t count_ = 0;
+};
+
 class scratch_arena {
 public:
+  /// Every claim — take() or take_typed() — starts on this boundary: one
+  /// cache line, wide enough for any current SIMD load. Typed claims assert
+  /// it so a future arena change cannot silently misalign int8/int32 panels.
+  static constexpr std::size_t k_claim_alignment = 64;
+
   /// The calling thread's arena (one per thread, created on first use).
   static scratch_arena& local();
 
@@ -77,6 +109,24 @@ public:
   /// Check out `count` floats (64-byte aligned, UNINITIALIZED). count == 0
   /// yields an empty buffer without touching the arena.
   scratch_buffer take(std::size_t count);
+
+  /// Check out `count` elements of trivially-copyable type T, explicitly
+  /// guaranteed to start k_claim_alignment-aligned (asserted, not assumed).
+  /// The claim is rounded up to whole floats of backing store; LIFO rules
+  /// and the UNINITIALIZED-contents contract match take().
+  template <typename T>
+  scratch_typed<T> take_typed(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "scratch_typed claims hold plain kernel panel data only");
+    static_assert(alignof(T) <= k_claim_alignment,
+                  "element alignment exceeds the arena's claim alignment");
+    if (count == 0) return scratch_typed<T>{};
+    const std::size_t floats = (count * sizeof(T) + sizeof(float) - 1) / sizeof(float);
+    scratch_buffer buf = take(floats);
+    PELTA_CHECK_MSG(reinterpret_cast<std::uintptr_t>(buf.data()) % k_claim_alignment == 0,
+                    "scratch claim not " << k_claim_alignment << "-byte aligned");
+    return scratch_typed<T>{std::move(buf), count};
+  }
 
   /// Total backing-store allocations ever made by this arena. Stops
   /// increasing once capacity has reached the caller's high-water pattern —

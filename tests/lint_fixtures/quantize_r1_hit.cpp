@@ -1,0 +1,10 @@
+// R1 hit in the quantization file: a raw float accumulation on the fp32
+// dequantize side (the int32 accumulators are the exempt shape below).
+void dequant(const int* acc, const float* scale, float* out, int n) {
+  float drift = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(acc[i]) * scale[i];
+    drift += out[i];  // line 7: float var += — must go through detail::fmadd
+  }
+  out[0] = drift;
+}

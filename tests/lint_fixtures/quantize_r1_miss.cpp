@@ -1,0 +1,10 @@
+// R1 miss in the quantization file: integer code/column-sum accumulation is
+// the quantized path's exact arithmetic, not a float-rounding hazard.
+#include <cstdint>
+void colsums(const std::int8_t* codes, std::int32_t* sums, long k, long n) {
+  for (long j = 0; j < n; ++j) {
+    std::int32_t csum = 0;
+    for (long kk = 0; kk < k; ++kk) csum += codes[kk * n + j];  // int32 accumulator
+    sums[j] += csum;                                            // int32 element
+  }
+}

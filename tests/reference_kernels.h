@@ -43,4 +43,25 @@ inline void reference_gemm_bt(const float* a, const float* bt, float* out, std::
   reference_gemm(a, b_storage.data(), out, m, k, n);
 }
 
+// THE frozen int8 reference: the textbook i-k-j loop over UNPACKED operands
+// computing out[i][j] = sum_k (a_u8 - 128) * b_s8 in int32. It knows nothing
+// of the packed panel layout, the colsum compensation trick or the AVX2
+// pair-sum path — which is exactly why comparing ops::detail::qgemm against
+// it bitwise proves the production kernel's algebra, not just its porting.
+// Like its fp32 sibling above: do not "improve" it.
+inline void reference_qgemm(const std::uint8_t* a, std::int64_t lda, const std::int8_t* b,
+                            std::int32_t* out, std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) out[i * n + j] = 0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::uint8_t* arow = a + i * lda;
+    std::int32_t* orow = out + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const std::int32_t av = static_cast<std::int32_t>(arow[kk]) - 128;
+      const std::int8_t* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * static_cast<std::int32_t>(brow[j]);
+    }
+  }
+}
+
 }  // namespace pelta::ops::reference

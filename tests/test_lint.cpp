@@ -58,6 +58,10 @@ TEST(LintScoping, KernelFilesGetTheAccumulationAndArenaRules) {
             (std::vector<std::string>{"R1", "R2", "R3", "R4", "R6"}));
   EXPECT_EQ(applicable_rules("src/fl/aggregation.cpp"),
             (std::vector<std::string>{"R1", "R3", "R4", "R5", "R6"}));
+  // The quantization vocabulary is fp32 on its dequantize side, so it owes
+  // the fmadd policy — but not the arena rule (it only packs weights).
+  EXPECT_EQ(applicable_rules("src/tensor/quantized_tensor.cpp"),
+            (std::vector<std::string>{"R1", "R3", "R4", "R6"}));
 }
 
 TEST(LintScoping, AllowlistedCoresLoseExactlyTheirRule) {
@@ -115,6 +119,19 @@ TEST(LintR1, SuppressionWithoutReasonDoesNotSuppress) {
 TEST(LintR1, DoesNotApplyOutsideTheAccumulationFiles) {
   const file_report r = lint_fixture("r1_hit.cpp", "src/nn/layers.cpp");
   EXPECT_TRUE(lines_for_rule(r, "R1").empty());
+}
+
+TEST(LintR1, FlagsFloatDriftOnTheDequantizeSide) {
+  const file_report r =
+      lint_fixture("quantize_r1_hit.cpp", "src/tensor/quantized_tensor.cpp");
+  EXPECT_EQ(lines_for_rule(r, "R1"), (std::vector<int>{7}));
+}
+
+TEST(LintR1, AllowsInt32CodeAccumulationInTheQuantizeFile) {
+  const file_report r =
+      lint_fixture("quantize_r1_miss.cpp", "src/tensor/quantized_tensor.cpp");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings.front().message << " at line " << r.findings.front().line;
 }
 
 // ---------------------------------------------------------------------------
