@@ -1,0 +1,63 @@
+#include "core/simclock.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace pelta::core {
+
+namespace {
+
+// std::push_heap/pop_heap build a MAX-heap under the comparator, so feed
+// them the inverted order to get the min-(stamp, id, seq) element on top.
+bool heap_after(const sim_event& a, const sim_event& b) { return sim_event_before(b, a); }
+
+}  // namespace
+
+event_queue::event_queue() = default;
+
+event_queue::event_queue(double shutdown_ns) : shutdown_ns_{shutdown_ns}, closed_{true} {
+  PELTA_CHECK_MSG(!std::isnan(shutdown_ns), "event_queue shutdown stamp is NaN");
+}
+
+bool event_queue::push(double stamp_ns, std::int64_t id) {
+  PELTA_CHECK_MSG(!std::isnan(stamp_ns), "event stamp is NaN");
+  const std::uint64_t seq = next_seq_++;
+  // Inclusive boundary: an event stamped exactly at shutdown still drains.
+  if (closed_ && stamp_ns > shutdown_ns_) {
+    ++rejected_;
+    return false;
+  }
+  heap_.push_back(sim_event{stamp_ns, id, seq});
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
+  return true;
+}
+
+sim_event event_queue::pop() {
+  PELTA_CHECK_MSG(!heap_.empty(), "pop() on an empty event_queue");
+  std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+  const sim_event out = heap_.back();
+  heap_.pop_back();
+  return out;
+}
+
+const sim_event& event_queue::peek() const {
+  PELTA_CHECK_MSG(!heap_.empty(), "peek() on an empty event_queue");
+  return heap_.front();
+}
+
+void event_queue::close_at(double shutdown_ns) {
+  PELTA_CHECK_MSG(!std::isnan(shutdown_ns), "event_queue shutdown stamp is NaN");
+  PELTA_CHECK_MSG(!closed_ || shutdown_ns <= shutdown_ns_,
+                  "close_at may only tighten an existing shutdown stamp");
+  closed_ = true;
+  shutdown_ns_ = shutdown_ns;
+  const auto beyond = [&](const sim_event& e) { return e.stamp_ns > shutdown_ns_; };
+  const auto it = std::remove_if(heap_.begin(), heap_.end(), beyond);
+  rejected_ += static_cast<std::int64_t>(heap_.end() - it);
+  heap_.erase(it, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), heap_after);
+}
+
+}  // namespace pelta::core

@@ -1,0 +1,102 @@
+// The shared simulated-clock event queue.
+//
+// Before this header existed, every planner that walked the simulated clock
+// hand-rolled its own event loop: fl/plan_async_schedule kept a
+// priority_queue of (finish stamp, job index) pairs, serve/plan_batches
+// stable-sorted arrival stamps, and each re-implemented the same two rules
+// — the deterministic tie-break and the drain-on-shutdown boundary. This
+// queue is the one implementation both planners (and the serve cluster
+// planner on top of them) share:
+//
+//   * TOTAL ORDER. Events pop by (stamp_ns, id, seq) ascending. `id` is the
+//     caller's tie-break key — a job index, a request id, an event-kind
+//     priority — and `seq` (the push-call counter) is the last resort, so
+//     two pushes that agree on stamp AND id still pop in push order. No
+//     interleaving of pushes and pops can change what a given (stamp, id)
+//     multiset pops as: the order is a pure function of the pushes.
+//
+//   * DRAIN-ON-SHUTDOWN, boundary INCLUSIVE. A queue may carry a shutdown
+//     stamp (construction or close_at): an event stamped exactly AT the
+//     shutdown stamp is still delivered — a flush scheduled at the same
+//     instant the stream ends must happen — while anything stamped after it
+//     is rejected and counted, never silently lost. This is the single
+//     statement of the rule plan_batches (closed_by_drain) and
+//     plan_async_schedule (final-flush horizon) previously duplicated;
+//     tests/test_simclock.cpp pins the equal-stamp-still-flushes boundary
+//     for both subsystems.
+//
+// Simulated-only by construction: stamps are caller-supplied doubles, and
+// this file — like everything else in src/ — never reads a wall clock
+// (pelta-lint R3 bans the OS time APIs here too; what R3 grants simclock
+// alone is the *vocabulary*: outside this file and tensor/rng.h no src/
+// code may even name time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pelta::core {
+
+/// One scheduled event. `id` is the caller's deterministic tie-break key;
+/// `seq` is the queue-assigned push-call counter (every push() call
+/// consumes one, accepted or rejected, so seq doubles as a stable index
+/// into whatever side table the caller keeps per push).
+struct sim_event {
+  double stamp_ns = 0.0;
+  std::int64_t id = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Ascending (stamp_ns, id, seq) — the queue's total order, exposed so
+/// reference implementations in tests can sort with the exact comparator.
+inline bool sim_event_before(const sim_event& a, const sim_event& b) {
+  if (a.stamp_ns != b.stamp_ns) return a.stamp_ns < b.stamp_ns;
+  if (a.id != b.id) return a.id < b.id;
+  return a.seq < b.seq;
+}
+
+class event_queue {
+public:
+  /// An open queue: no shutdown stamp, every finite push is accepted.
+  event_queue();
+  /// A queue that drains at `shutdown_ns`: pushes stamped <= shutdown_ns
+  /// (inclusive) are accepted, later ones rejected and counted.
+  explicit event_queue(double shutdown_ns);
+
+  /// Schedule an event. Returns false (and counts the rejection) when the
+  /// stamp lies beyond the shutdown boundary. Every call consumes one seq.
+  /// Stamps must not be NaN (checked); +inf is only meaningful on an open
+  /// queue.
+  bool push(double stamp_ns, std::int64_t id);
+
+  /// Smallest (stamp, id, seq) event. Checked: the queue must be non-empty.
+  sim_event pop();
+  /// Same event pop() would return, without removing it.
+  const sim_event& peek() const;
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Install (or tighten) the shutdown stamp mid-stream: already-queued
+  /// events stamped after it are dropped and counted alongside rejected
+  /// pushes. The boundary stays inclusive — an event stamped exactly at
+  /// `shutdown_ns` survives.
+  void close_at(double shutdown_ns);
+
+  bool closed() const { return closed_; }
+  double shutdown_ns() const { return shutdown_ns_; }
+  /// Pushes refused + queued events dropped by close_at. Nothing is lost
+  /// silently: callers decide whether a non-zero count is an error.
+  std::int64_t rejected() const { return rejected_; }
+  /// Total push() calls (== the next seq to be assigned).
+  std::uint64_t pushes() const { return next_seq_; }
+
+private:
+  std::vector<sim_event> heap_;  ///< binary min-heap under sim_event_before
+  std::uint64_t next_seq_ = 0;
+  double shutdown_ns_ = 0.0;
+  bool closed_ = false;
+  std::int64_t rejected_ = 0;
+};
+
+}  // namespace pelta::core

@@ -1,7 +1,8 @@
 #include "fl/async.h"
 
-#include <queue>
+#include <limits>
 
+#include "core/simclock.h"
 #include "tensor/check.h"
 #include "tensor/rng.h"
 
@@ -22,6 +23,17 @@ async_schedule plan_async_schedule(const async_config& config,
                                    std::int64_t epochs, std::int64_t payload_bytes,
                                    const network& net, std::int64_t target_aggregations,
                                    std::uint64_t seed) {
+  return plan_async_schedule(config, profiles, shard_sizes, epochs, payload_bytes, net,
+                             target_aggregations, seed,
+                             std::numeric_limits<double>::infinity());
+}
+
+async_schedule plan_async_schedule(const async_config& config,
+                                   const std::vector<client_profile>& profiles,
+                                   const std::vector<std::int64_t>& shard_sizes,
+                                   std::int64_t epochs, std::int64_t payload_bytes,
+                                   const network& net, std::int64_t target_aggregations,
+                                   std::uint64_t seed, double horizon_ns) {
   PELTA_CHECK_MSG(config.buffer_size >= 1, "async buffer_size must be >= 1");
   PELTA_CHECK_MSG(config.max_staleness >= 0, "max_staleness must be >= 0");
   PELTA_CHECK_MSG(config.compute_ns_per_sample >= 0.0, "compute_ns_per_sample must be >= 0");
@@ -34,26 +46,29 @@ async_schedule plan_async_schedule(const async_config& config,
   const rng base{seed};
   async_schedule plan;
 
-  // Min-heap of (finish time, job index); the job index — unique and
-  // assigned in creation order — breaks simulated-time ties, so the pop
-  // order is total and deterministic.
-  using event = std::pair<double, std::size_t>;
-  std::priority_queue<event, std::vector<event>, std::greater<event>> heap;
+  // The shared simulated-clock queue (core/simclock.h): events pop by
+  // (finish stamp, job index) — the job index, unique and assigned in
+  // creation order, is the deterministic tie-break, so the pop order is
+  // total. The horizon is the queue's inclusive drain boundary: an upload
+  // (and therefore a flush) stamped exactly AT the horizon still lands;
+  // episodes finishing after it are rejected by the queue and never
+  // processed.
+  core::event_queue events{horizon_ns};
 
   std::int64_t version = 0;
   std::vector<std::size_t> buffer;  // job indices, arrival order
 
-  const auto start_job = [&](std::size_t c, double now) {
+  const auto start_job = [&](std::size_t c, double at_ns) {
     async_job job;
     job.client = static_cast<std::int64_t>(c);
     job.start_version = version;
-    job.start_ns = now;
+    job.start_ns = at_ns;
     job.finish_ns =
-        now + async_episode_ns(config, profiles[c], shard_sizes[c], epochs, payload_bytes, net);
-    plan.legs.push_back({job.client, /*upload=*/false, now});  // broadcast leg
+        at_ns + async_episode_ns(config, profiles[c], shard_sizes[c], epochs, payload_bytes, net);
+    plan.legs.push_back({job.client, /*upload=*/false, at_ns});  // broadcast leg
     const std::size_t index = plan.jobs.size();
     plan.jobs.push_back(job);
-    heap.push({job.finish_ns, index});
+    events.push(job.finish_ns, static_cast<std::int64_t>(index));
   };
 
   for (std::size_t c = 0; c < clients; ++c) start_job(c, 0.0);
@@ -64,13 +79,14 @@ async_schedule plan_async_schedule(const async_config& config,
   const std::size_t max_jobs =
       clients * static_cast<std::size_t>(target_aggregations * config.buffer_size + 64) * 4;
 
-  while (plan.aggregations < target_aggregations) {
+  while (plan.aggregations < target_aggregations && !events.empty()) {
     PELTA_CHECK_MSG(plan.jobs.size() < max_jobs,
                     "async schedule is not converging after "
                         << plan.jobs.size() << " episodes (staleness bound or dropout "
                         << "rate starves the buffer)");
-    const auto [now, index] = heap.top();
-    heap.pop();
+    const core::sim_event upload = events.pop();
+    const double at_ns = upload.stamp_ns;
+    const std::size_t index = static_cast<std::size_t>(upload.id);
     async_job& job = plan.jobs[index];
 
     // Per-job forked stream: the draw depends only on (seed, job index),
@@ -81,7 +97,7 @@ async_schedule plan_async_schedule(const async_config& config,
       job.dropped = true;
       ++plan.dropped;
     } else {
-      plan.legs.push_back({job.client, /*upload=*/true, now});
+      plan.legs.push_back({job.client, /*upload=*/true, at_ns});
       job.staleness = version - job.start_version;
       if (job.staleness > config.max_staleness) {
         job.stale = true;
@@ -92,17 +108,17 @@ async_schedule plan_async_schedule(const async_config& config,
           for (const std::size_t b : buffer) plan.jobs[b].aggregation = plan.aggregations;
           plan.flush_inputs.push_back(std::move(buffer));
           buffer.clear();
-          plan.flush_ns.push_back(now);
+          plan.flush_ns.push_back(at_ns);
           ++plan.aggregations;
           ++version;
-          plan.end_ns = now;
+          plan.end_ns = at_ns;
           if (plan.aggregations == target_aggregations) break;
         }
       }
     }
     // The device immediately begins its next episode from the current
     // global version (post-flush if one just happened).
-    start_job(static_cast<std::size_t>(job.client), now);
+    start_job(static_cast<std::size_t>(job.client), at_ns);
   }
   return plan;
 }

@@ -105,6 +105,19 @@ async_schedule plan_async_schedule(const async_config& config,
                                    const network& net, std::int64_t target_aggregations,
                                    std::uint64_t seed);
 
+/// Same, but planning drains at `horizon_ns` — the shared simulated-clock
+/// shutdown rule (core/simclock.h), boundary INCLUSIVE: an upload (and the
+/// flush it completes) stamped exactly AT the horizon still lands; episodes
+/// finishing after it are never processed, so the plan may end with fewer
+/// than `target_aggregations` flushes. `horizon_ns = +inf` is the overload
+/// above.
+async_schedule plan_async_schedule(const async_config& config,
+                                   const std::vector<client_profile>& profiles,
+                                   const std::vector<std::int64_t>& shard_sizes,
+                                   std::int64_t epochs, std::int64_t payload_bytes,
+                                   const network& net, std::int64_t target_aggregations,
+                                   std::uint64_t seed, double horizon_ns);
+
 /// What one run_async call did, in simulated terms.
 struct async_report {
   std::int64_t aggregations = 0;    ///< buffer flushes applied

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <limits>
 
+#include "core/simclock.h"
 #include "tensor/check.h"
 
 namespace pelta::serve {
@@ -14,46 +15,60 @@ batch_plan plan_batches(const std::vector<double>& submit_ns, const batch_policy
 
 batch_plan plan_batches(const std::vector<double>& submit_ns,
                         const std::vector<std::int64_t>& ids, const batch_policy& policy) {
+  return plan_batches(submit_ns, ids, policy, std::numeric_limits<double>::infinity());
+}
+
+batch_plan plan_batches(const std::vector<double>& submit_ns,
+                        const std::vector<std::int64_t>& ids, const batch_policy& policy,
+                        double shutdown_ns) {
   PELTA_CHECK_MSG(policy.max_batch >= 1, "batch_policy.max_batch must be >= 1");
   PELTA_CHECK_MSG(policy.max_delay_ns >= 0.0, "batch_policy.max_delay_ns must be >= 0");
   const std::size_t n = submit_ns.size();
   PELTA_CHECK_MSG(ids.empty() || ids.size() == n,
                   "plan_batches needs one id per arrival stamp (or none)");
-  // A NaN stamp would break the sort's strict weak ordering (UB) and an
-  // infinite one the deadline arithmetic — reject both before sorting.
+  // A NaN stamp would break the queue order (UB in a sort, nonsense in a
+  // heap) and an infinite one the deadline arithmetic — reject both.
   for (std::size_t i = 0; i < n; ++i)
     PELTA_CHECK_MSG(std::isfinite(submit_ns[i]),
                     "request " << i << " has a non-finite submit_ns");
 
-  // Canonical FIFO order: by arrival stamp; equal stamps by id when ids
-  // are given (matching canonicalize()), and by index as the last resort.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (submit_ns[a] != submit_ns[b]) return submit_ns[a] < submit_ns[b];
-    return !ids.empty() && ids[a] < ids[b];
-  });
+  // The shared simulated-clock queue (core/simclock.h) IS the canonical
+  // FIFO order: events pop by (arrival stamp, id, push order), i.e. equal
+  // stamps break by id when ids are given (matching canonicalize()) and by
+  // index as the last resort — the same total order the stable sort this
+  // replaced produced. seq doubles as the request index because every push
+  // call consumes one, even a rejected push. The queue's inclusive
+  // shutdown boundary is the drain rule: an arrival stamped exactly AT
+  // shutdown still batches; later arrivals are rejected and counted.
+  core::event_queue arrivals{shutdown_ns};
+  for (std::size_t i = 0; i < n; ++i)
+    arrivals.push(submit_ns[i], ids.empty() ? 0 : ids[i]);
 
   batch_plan plan;
   plan.requests = static_cast<std::int64_t>(n);
-  std::size_t i = 0;
-  while (i < n) {
+  plan.rejected = arrivals.rejected();
+  while (!arrivals.empty()) {
     planned_batch batch;
-    batch.open_ns = submit_ns[order[i]];
+    const core::sim_event first = arrivals.pop();
+    batch.open_ns = first.stamp_ns;
+    batch.members.push_back(static_cast<std::size_t>(first.seq));
     const double deadline = batch.open_ns + policy.max_delay_ns;
-    std::size_t j = i;
-    while (j < n && static_cast<std::int64_t>(j - i) < policy.max_batch &&
-           submit_ns[order[j]] <= deadline)
-      batch.members.push_back(order[j++]);
+    double last_arrival_ns = first.stamp_ns;
+    while (!arrivals.empty() &&
+           static_cast<std::int64_t>(batch.members.size()) < policy.max_batch &&
+           arrivals.peek().stamp_ns <= deadline) {
+      const core::sim_event next = arrivals.pop();
+      batch.members.push_back(static_cast<std::size_t>(next.seq));
+      last_arrival_ns = next.stamp_ns;
+    }
 
-    batch.closed_by_fill = static_cast<std::int64_t>(j - i) == policy.max_batch;
-    batch.closed_by_drain = !batch.closed_by_fill && j == n;
+    batch.closed_by_fill = static_cast<std::int64_t>(batch.members.size()) == policy.max_batch;
+    batch.closed_by_drain = !batch.closed_by_fill && arrivals.empty();
     if (batch.closed_by_fill || batch.closed_by_drain)
-      batch.close_ns = submit_ns[order[j - 1]];  // dispatch at the closing arrival
+      batch.close_ns = last_arrival_ns;  // dispatch at the closing arrival
     else
       batch.close_ns = deadline;  // the stream continues past the window
     plan.batches.push_back(std::move(batch));
-    i = j;
   }
   return plan;
 }
@@ -63,14 +78,14 @@ std::vector<double> make_poisson_arrivals(std::int64_t n, double mean_gap_ns,
   PELTA_CHECK_MSG(n >= 0 && mean_gap_ns >= 0.0, "bad arrival-process parameters");
   rng gen{seed};
   std::vector<double> arrivals(static_cast<std::size_t>(n));
-  double clock = 0.0;
+  double at_ns = 0.0;
   for (double& t : arrivals) {
     // Inverse-CDF exponential draw. uniform_real_distribution<float> may
     // return its upper bound 1.0 outright (LWG 2524); clamp below 1 so the
     // log stays finite.
     const double u = std::min(static_cast<double>(gen.uniform()), 1.0 - 1e-9);
-    clock += -mean_gap_ns * std::log1p(-u);
-    t = clock;
+    at_ns += -mean_gap_ns * std::log1p(-u);
+    t = at_ns;
   }
   return arrivals;
 }

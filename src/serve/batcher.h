@@ -39,7 +39,10 @@ struct planned_batch {
 
 struct batch_plan {
   std::vector<planned_batch> batches;  ///< in dispatch order
-  std::int64_t requests = 0;
+  std::int64_t requests = 0;  ///< arrivals offered (admitted + rejected)
+  /// Arrivals stamped after the shutdown boundary (0 without one). Counted,
+  /// never silently lost: no `members` entry covers a rejected index.
+  std::int64_t rejected = 0;
 };
 
 /// Plan the batches a stream of arrivals forms under `policy`. `submit_ns`
@@ -52,6 +55,17 @@ batch_plan plan_batches(const std::vector<double>& submit_ns, const batch_policy
 /// no matter how producers interleaved it. server::run uses this form.
 batch_plan plan_batches(const std::vector<double>& submit_ns,
                         const std::vector<std::int64_t>& ids, const batch_policy& policy);
+
+/// Same, with an explicit shutdown stamp — the shared simulated-clock drain
+/// rule (core/simclock.h), boundary INCLUSIVE: an arrival stamped exactly
+/// AT `shutdown_ns` still batches (so shutdown == last arrival reproduces
+/// the unbounded plan exactly), arrivals after it are counted in
+/// `batch_plan::rejected` and never planned. The cluster tests use this
+/// form to reproduce one replica's stream cut at its kill stamp. `+inf` is
+/// the overload above.
+batch_plan plan_batches(const std::vector<double>& submit_ns,
+                        const std::vector<std::int64_t>& ids, const batch_policy& policy,
+                        double shutdown_ns);
 
 /// Seeded open-loop arrival process: `n` stamps with exponential
 /// inter-arrival gaps of mean `mean_gap_ns` (a Poisson stream, the standard

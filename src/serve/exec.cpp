@@ -1,0 +1,80 @@
+#include "serve/exec.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace pelta::serve::exec {
+
+tensor gather_batch(const std::vector<classify_request>& requests,
+                    const std::vector<std::size_t>& members, const server_config& config) {
+  PELTA_CHECK(!members.empty());
+  const tensor& first = requests[members.front()].image;
+  PELTA_CHECK_MSG(first.ndim() == 3, "classify_request.image must be [C,H,W]");
+  shape_t batched{static_cast<std::int64_t>(members.size())};
+  for (std::int64_t d : first.shape()) batched.push_back(d);
+  tensor out{batched};
+
+  const bool chained = config.chain != nullptr && !config.chain->empty();
+  const rng chain_root{config.chain_seed};
+  const std::int64_t stride = first.numel();
+  parallel_for(static_cast<std::int64_t>(members.size()), [&](std::int64_t r) {
+    const classify_request& request = requests[members[static_cast<std::size_t>(r)]];
+    PELTA_CHECK_MSG(request.image.shape() == first.shape(),
+                    "request image shape mismatch inside one batch");
+    auto row = out.data().begin() + r * stride;
+    if (chained) {
+      rng gen = chain_root.fork(static_cast<std::uint64_t>(request.id));
+      const tensor pre = config.chain->apply(request.image, gen);
+      std::copy(pre.data().begin(), pre.data().end(), row);
+    } else {
+      std::copy(request.image.data().begin(), request.image.data().end(), row);
+    }
+  });
+  return out;
+}
+
+void scatter_batch(std::vector<classify_result>& results,
+                   const std::vector<classify_request>& requests, const planned_batch& batch,
+                   std::size_t batch_index, const tensor& logits,
+                   const shielded_backend::batch_stats& stats,
+                   const enclave_session::batch_charge& charge, double exec_start_ns,
+                   double compute_ns, double finish_ns) {
+  const std::int64_t classes = logits.size(1);
+  const tensor preds = ops::argmax_lastdim(logits);
+  for (std::size_t r = 0; r < batch.members.size(); ++r) {
+    const std::size_t m = batch.members[r];
+    classify_result& out = results[m];
+    out.request_id = requests[m].id;
+    out.predicted = static_cast<std::int64_t>(preds[static_cast<std::int64_t>(r)]);
+    out.logits = tensor{shape_t{classes}};
+    std::copy(logits.data().begin() + static_cast<std::int64_t>(r) * classes,
+              logits.data().begin() + static_cast<std::int64_t>(r + 1) * classes,
+              out.logits.data().begin());
+    out.batch_index = static_cast<std::int64_t>(batch_index);
+    out.batch_size = static_cast<std::int64_t>(batch.members.size());
+    out.masked_transforms = stats.masked_transforms;
+    out.shield_bytes_batch = stats.shield_bytes;
+    out.submit_ns = requests[m].submit_ns;
+    out.finish_ns = finish_ns;
+    out.latency.queue_ns = batch.close_ns - requests[m].submit_ns;
+    out.latency.batch_ns = exec_start_ns - batch.close_ns;
+    out.latency.enclave_ns = charge.enclave_ns;
+    out.latency.compute_ns = compute_ns;
+  }
+}
+
+serving_report make_report_header(const std::vector<classify_request>& requests) {
+  serving_report report;
+  report.requests = static_cast<std::int64_t>(requests.size());
+  report.results.resize(requests.size());
+  if (requests.empty()) return report;
+  report.first_submit_ns = requests.front().submit_ns;
+  for (const classify_request& r : requests)
+    report.first_submit_ns = std::min(report.first_submit_ns, r.submit_ns);
+  return report;
+}
+
+}  // namespace pelta::serve::exec

@@ -1,0 +1,42 @@
+// Shared batch-execution helpers of the serving runtime.
+//
+// gather/scatter used to live in server.cpp's anonymous namespace; the
+// cluster runtime (cluster.h) executes the same three-stage batch chain on
+// every replica, so the helpers moved here — ONE code path, ONE bit layout.
+// A request gathered and scattered by a cluster replica goes through
+// byte-for-byte the same code as on the single server, which is half of
+// the cluster-vs-single-server logit bit-identity contract (the other half
+// is the kernels' batch-size invariance).
+#pragma once
+
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/server.h"
+
+namespace pelta::serve::exec {
+
+/// Gather the batch's request images into one [B,C,H,W] model batch,
+/// applying the software-defense chain in place when one is configured.
+/// Pool-parallel and deterministic: each row writes only its own slice and
+/// forks its chain stream from the request id, so a request's preprocessed
+/// pixels depend on neither batch composition nor thread count.
+tensor gather_batch(const std::vector<classify_request>& requests,
+                    const std::vector<std::size_t>& members, const server_config& config);
+
+/// Scatter one executed batch into the per-request result rows. Writes only
+/// the rows `batch.members` owns into the pre-sized results vector, so
+/// scatters of different batches (pipeline slots, cluster replicas) can run
+/// concurrently.
+void scatter_batch(std::vector<classify_result>& results,
+                   const std::vector<classify_request>& requests, const planned_batch& batch,
+                   std::size_t batch_index, const tensor& logits,
+                   const shielded_backend::batch_stats& stats,
+                   const enclave_session::batch_charge& charge, double exec_start_ns,
+                   double compute_ns, double finish_ns);
+
+/// Pre-sized report skeleton: one result slot per request, first_submit_ns
+/// fixed to the earliest arrival.
+serving_report make_report_header(const std::vector<classify_request>& requests);
+
+}  // namespace pelta::serve::exec

@@ -1,0 +1,18 @@
+#include <chrono>
+// R3 time-vocabulary hit. Wall-clock/sleep APIs (and <chrono>) are banned
+// in EVERY src/ file, core/simclock included; the bare `now` / `clock`
+// identifiers below additionally hit everywhere EXCEPT core/simclock —
+// the one file allowed to name time.
+struct timers {
+  long now = 0;                        // line 7: vocabulary
+  long clock = 0;                      // line 8: vocabulary
+};
+long wall(timers& t) {
+  struct timespec ts;
+  clock_gettime(0, &ts);               // line 12: wall API
+  timespec_get(&ts, 1);                // line 13: wall API
+  gettimeofday(&ts, nullptr);          // line 14: wall API
+  nanosleep(&ts, &ts);                 // line 15: wall API
+  usleep(100);                         // line 16: wall API
+  return t.now + t.clock;              // line 17: vocabulary, twice
+}

@@ -1,0 +1,14 @@
+// R3 time-vocabulary miss: stamps are named explicitly, and identifier
+// boundaries must hold — now_ns / known / snowball contain "now",
+// sim_clock_view / clocked contain "clock", asynchronous contains
+// "chrono", and none of them are the banned words.
+struct sim_clock_view {
+  double now_ns = 0.0;
+  double submit_ns = 0.0;
+  bool clocked = false;
+  long asynchronous_rounds = 0;
+};
+long known(long snowball) { return snowball; }
+// prose may say now, clock, chrono, clock_gettime, nanosleep
+const char* doc() { return "clock_gettime and now in prose are fine"; }
+double f(sim_clock_view& v) { return v.now_ns + v.submit_ns + known(7); }

@@ -1,0 +1,406 @@
+// Multi-replica serving cluster (src/serve/cluster.h).
+//
+// The suite pins the cluster contracts:
+//   * the router is a pure plan-time policy — round-robin is fair,
+//     power-of-two-choices never picks the strictly-more-loaded of its two
+//     candidates, and a one-replica cluster batches EXACTLY like
+//     plan_batches (the unification evidence for the shared simclock);
+//   * chaos is drain-and-requeue — killing a replica mid-stream loses no
+//     request and duplicates none, at plan level and through execution;
+//   * the autoscaler has hysteresis — a square-wave load produces grouped
+//     scale phases, never tick-to-tick flapping;
+//   * execution is bit-deterministic — pooled (PELTA_THREADS=8) and
+//     forced-serial runs produce byte-identical reports, and every logits
+//     row matches the single-server path bit for bit.
+// The static initializer pins PELTA_THREADS=8 (without overriding an
+// explicit environment setting) so replica tasks really cross threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "models/vit.h"
+#include "serve/cluster.h"
+#include "serve/server.h"
+#include "tensor/parallel.h"
+
+namespace pelta {
+namespace {
+
+const bool k_threads_pinned = [] {
+  setenv("PELTA_THREADS", "8", /*overwrite=*/0);
+  return true;
+}();
+
+models::vit_config tiny_vit_config(std::uint64_t seed = 31) {
+  models::vit_config c;
+  c.name = "cluster-test-vit";
+  c.image_size = 16;
+  c.patch_size = 4;
+  c.dim = 16;
+  c.heads = 2;
+  c.blocks = 1;
+  c.mlp_hidden = 32;
+  c.classes = 4;
+  c.seed = seed;
+  return c;
+}
+
+// Ids offset from the workload index so an unwritten (default -1) or
+// zero-initialized result row can never masquerade as a served request.
+std::vector<serve::classify_request> make_requests(std::int64_t n,
+                                                   const std::vector<double>& submit_ns,
+                                                   std::uint64_t seed = 7) {
+  rng gen{seed};
+  std::vector<serve::classify_request> reqs;
+  reqs.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    serve::classify_request r;
+    r.id = 100 + i;
+    r.image = tensor::rand_uniform(gen, {3, 16, 16});
+    r.submit_ns = submit_ns[static_cast<std::size_t>(i)];
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+bool bits_equal(const tensor& a, const tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data().data(), b.data().data(), a.data().size() * sizeof(float)) == 0;
+}
+
+// Every request index appears in EXACTLY one surviving batch; aborted
+// batches only ever hold requests that survive elsewhere.
+void expect_exactly_once_coverage(const serve::cluster_plan& plan, std::size_t n) {
+  std::vector<int> served(n, 0);
+  for (const serve::planned_cluster_batch& pb : plan.batches) {
+    if (pb.aborted) continue;
+    for (std::size_t m : pb.batch.members) {
+      ASSERT_LT(m, n);
+      ++served[m];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(served[i], 1) << "workload index " << i << " served " << served[i] << " times";
+  for (std::size_t i = 0; i < n; ++i) EXPECT_GE(plan.final_replica[i], 0);
+}
+
+// Byte-level equality of two cluster reports — doubles compare with == on
+// purpose: pooled and forced-serial execution must agree EXACTLY.
+void expect_cluster_reports_identical(const serve::cluster_report& got,
+                                      const serve::cluster_report& want) {
+  EXPECT_EQ(got.requests, want.requests);
+  EXPECT_EQ(got.first_submit_ns, want.first_submit_ns);
+  EXPECT_EQ(got.last_finish_ns, want.last_finish_ns);
+  EXPECT_EQ(got.enclave_ns, want.enclave_ns);
+  EXPECT_EQ(got.hotcalls, want.hotcalls);
+  ASSERT_EQ(got.results.size(), want.results.size());
+  for (std::size_t i = 0; i < want.results.size(); ++i) {
+    const serve::classify_result& g = got.results[i];
+    const serve::classify_result& w = want.results[i];
+    EXPECT_EQ(g.request_id, w.request_id) << "request " << i;
+    EXPECT_EQ(g.predicted, w.predicted) << "request " << i;
+    ASSERT_TRUE(bits_equal(g.logits, w.logits)) << "request " << i;
+    EXPECT_EQ(g.batch_index, w.batch_index) << "request " << i;
+    EXPECT_EQ(g.batch_size, w.batch_size) << "request " << i;
+    EXPECT_EQ(g.finish_ns, w.finish_ns) << "request " << i;
+    EXPECT_EQ(g.latency.queue_ns, w.latency.queue_ns) << "request " << i;
+    EXPECT_EQ(g.latency.batch_ns, w.latency.batch_ns) << "request " << i;
+    EXPECT_EQ(g.latency.enclave_ns, w.latency.enclave_ns) << "request " << i;
+    EXPECT_EQ(g.latency.compute_ns, w.latency.compute_ns) << "request " << i;
+  }
+  ASSERT_EQ(got.replicas.size(), want.replicas.size());
+  for (std::size_t s = 0; s < want.replicas.size(); ++s) {
+    const serve::replica_report& g = got.replicas[s];
+    const serve::replica_report& w = want.replicas[s];
+    EXPECT_EQ(g.requests, w.requests) << "slot " << s;
+    EXPECT_EQ(g.enclave_ns, w.enclave_ns) << "slot " << s;
+    EXPECT_EQ(g.hotcalls, w.hotcalls) << "slot " << s;
+    EXPECT_EQ(g.last_finish_ns, w.last_finish_ns) << "slot " << s;
+    ASSERT_EQ(g.batches.size(), w.batches.size()) << "slot " << s;
+    for (std::size_t b = 0; b < w.batches.size(); ++b) {
+      EXPECT_EQ(g.batches[b].request_ids, w.batches[b].request_ids);
+      EXPECT_EQ(g.batches[b].close_ns, w.batches[b].close_ns);
+      EXPECT_EQ(g.batches[b].exec_start_ns, w.batches[b].exec_start_ns);
+      EXPECT_EQ(g.batches[b].enclave_ns, w.batches[b].enclave_ns);
+      EXPECT_EQ(g.batches[b].compute_ns, w.batches[b].compute_ns);
+      EXPECT_EQ(g.batches[b].hotcalls, w.batches[b].hotcalls);
+    }
+  }
+}
+
+serve::cluster_config base_config(std::int64_t replicas,
+                                  serve::router_policy policy = serve::router_policy::round_robin) {
+  serve::cluster_config c;
+  c.replicas = replicas;
+  c.policy = policy;
+  c.server.policy = {4, 1e6};
+  return c;
+}
+
+// ---- router policies (plan level) ------------------------------------------
+
+TEST(ClusterPlan, RoundRobinIsFair) {
+  std::vector<double> stamps;
+  std::vector<std::int64_t> ids;
+  for (std::int64_t i = 0; i < 31; ++i) {
+    stamps.push_back(static_cast<double>(i) * 3e5);
+    ids.push_back(i);
+  }
+  const serve::cluster_plan plan = serve::plan_cluster(base_config(3), stamps, ids);
+  ASSERT_EQ(plan.routed_per_slot.size(), 3u);
+  const auto [lo, hi] =
+      std::minmax_element(plan.routed_per_slot.begin(), plan.routed_per_slot.end());
+  EXPECT_LE(*hi - *lo, 1) << "round-robin counts diverged";
+  EXPECT_EQ(plan.routed_per_slot[0] + plan.routed_per_slot[1] + plan.routed_per_slot[2], 31);
+  EXPECT_EQ(plan.requeued, 0);
+  expect_exactly_once_coverage(plan, stamps.size());
+}
+
+TEST(ClusterPlan, PowerOfTwoNeverPicksTheStrictlyMoreLoadedCandidate) {
+  const std::vector<double> stamps = serve::make_poisson_arrivals(200, 2e5, 11);
+  std::vector<std::int64_t> ids;
+  for (std::int64_t i = 0; i < 200; ++i) ids.push_back(i);
+  const serve::cluster_plan plan =
+      serve::plan_cluster(base_config(4, serve::router_policy::power_of_two), stamps, ids);
+  ASSERT_EQ(plan.decisions.size(), 200u);
+  std::int64_t contested = 0;
+  for (const serve::route_decision& d : plan.decisions) {
+    if (d.candidate_b == -1) continue;  // only one live replica at the time
+    ++contested;
+    ASSERT_TRUE(d.replica == d.candidate_a || d.replica == d.candidate_b);
+    const std::int64_t picked = d.replica == d.candidate_a ? d.load_a : d.load_b;
+    const std::int64_t other = d.replica == d.candidate_a ? d.load_b : d.load_a;
+    EXPECT_LE(picked, other) << "p2c picked the more loaded replica for request " << d.request;
+    if (d.load_a == d.load_b) {  // tie: the lower slot index wins
+      EXPECT_EQ(d.replica, std::min(d.candidate_a, d.candidate_b));
+    }
+  }
+  EXPECT_GT(contested, 0);
+  expect_exactly_once_coverage(plan, stamps.size());
+}
+
+TEST(ClusterPlan, LeastLoadedNeverPicksAboveTheMinimum) {
+  const std::vector<double> stamps = serve::make_poisson_arrivals(120, 3e5, 5);
+  std::vector<std::int64_t> ids;
+  for (std::int64_t i = 0; i < 120; ++i) ids.push_back(i);
+  const serve::cluster_plan plan =
+      serve::plan_cluster(base_config(3, serve::router_policy::least_loaded), stamps, ids);
+  expect_exactly_once_coverage(plan, stamps.size());
+}
+
+// A one-replica cluster IS the single-server batcher: same members, same
+// open/close stamps, same close reasons as plan_batches on the same stream.
+TEST(ClusterPlan, SingleReplicaBatchesExactlyLikePlanBatches) {
+  const std::vector<double> stamps = serve::make_poisson_arrivals(150, 6e5, 23);
+  std::vector<std::int64_t> ids;
+  for (std::int64_t i = 0; i < 150; ++i) ids.push_back(i);
+  const serve::cluster_config config = base_config(1);
+  const serve::cluster_plan plan = serve::plan_cluster(config, stamps, ids);
+  const serve::batch_plan flat = serve::plan_batches(stamps, ids, config.server.policy);
+  ASSERT_EQ(plan.batches.size(), flat.batches.size());
+  for (std::size_t b = 0; b < flat.batches.size(); ++b) {
+    const serve::planned_batch& got = plan.batches[b].batch;
+    const serve::planned_batch& want = flat.batches[b];
+    EXPECT_FALSE(plan.batches[b].aborted);
+    EXPECT_EQ(plan.batches[b].replica, 0);
+    EXPECT_EQ(got.members, want.members) << "batch " << b;
+    EXPECT_EQ(got.open_ns, want.open_ns) << "batch " << b;
+    EXPECT_EQ(got.close_ns, want.close_ns) << "batch " << b;
+    EXPECT_EQ(got.closed_by_fill, want.closed_by_fill) << "batch " << b;
+    EXPECT_EQ(got.closed_by_drain, want.closed_by_drain) << "batch " << b;
+  }
+}
+
+// ---- chaos (plan level) ----------------------------------------------------
+
+TEST(ClusterPlan, KillOneReplicaLosesAndDuplicatesNothing) {
+  // Dense enough that every replica has work in flight when the kill lands.
+  const std::vector<double> stamps = serve::make_poisson_arrivals(160, 2e5, 13);
+  std::vector<std::int64_t> ids;
+  for (std::int64_t i = 0; i < 160; ++i) ids.push_back(i);
+  serve::cluster_config config = base_config(3);
+  const double mid = stamps[80];
+  config.chaos.push_back({mid, 1, /*kill=*/true});
+  config.chaos.push_back({mid + 2e7, 1, /*kill=*/false});  // later restart
+
+  const serve::cluster_plan plan = serve::plan_cluster(config, stamps, ids);
+  EXPECT_GT(plan.requeued, 0) << "the kill should catch requests in flight";
+  bool any_aborted = false;
+  for (const serve::planned_cluster_batch& pb : plan.batches) any_aborted |= pb.aborted;
+  EXPECT_TRUE(any_aborted);
+  expect_exactly_once_coverage(plan, stamps.size());
+  // While slot 1 is down, nothing opens on it.
+  for (const serve::planned_cluster_batch& pb : plan.batches) {
+    if (pb.replica != 1 || pb.aborted) continue;
+    EXPECT_TRUE(pb.batch.open_ns <= mid || pb.batch.open_ns >= mid + 2e7)
+        << "batch opened on a dead replica at " << pb.batch.open_ns;
+  }
+}
+
+TEST(ClusterPlan, KillingEveryReplicaWithoutRestartIsRejected) {
+  const std::vector<double> stamps{0.0, 1e5, 5e8};
+  const std::vector<std::int64_t> ids{0, 1, 2};
+  serve::cluster_config config = base_config(2);
+  config.chaos.push_back({2e8, 0, true});
+  config.chaos.push_back({2e8, 1, true});
+  EXPECT_THROW(serve::plan_cluster(config, stamps, ids), error);
+}
+
+TEST(ClusterPlan, HeldRequestsFlushAtTheRestart) {
+  const std::vector<double> stamps{0.0, 1e5, 5e8};  // the last arrives into a dead fleet
+  const std::vector<std::int64_t> ids{0, 1, 2};
+  serve::cluster_config config = base_config(2);
+  config.chaos.push_back({2e8, 0, true});
+  config.chaos.push_back({2e8, 1, true});
+  config.chaos.push_back({6e8, 0, false});
+  const serve::cluster_plan plan = serve::plan_cluster(config, stamps, ids);
+  expect_exactly_once_coverage(plan, stamps.size());
+  EXPECT_EQ(plan.final_replica[2], 0);
+  // The held request routes when the restart lands, not at its own stamp.
+  const serve::route_decision& d = plan.decisions.back();
+  EXPECT_EQ(d.request, 2u);
+  EXPECT_EQ(d.at_ns, 6e8);
+}
+
+// ---- autoscaler (plan level) -----------------------------------------------
+
+TEST(ClusterPlan, AutoscalerRidesASquareWaveWithoutFlapping) {
+  // Two dense bursts separated by silence: 60 arrivals at 0.1 ms gaps
+  // (~10/ms offered vs ~2.2/ms per-replica capacity), 30 ms of quiet, then
+  // the same burst again.
+  std::vector<double> stamps;
+  std::vector<std::int64_t> ids;
+  for (std::int64_t i = 0; i < 60; ++i) stamps.push_back(static_cast<double>(i) * 1e5);
+  for (std::int64_t i = 0; i < 60; ++i) stamps.push_back(4e7 + static_cast<double>(i) * 1e5);
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(stamps.size()); ++i) ids.push_back(i);
+
+  serve::cluster_config config = base_config(1);
+  config.autoscale.enabled = true;
+  config.autoscale.tick_ns = 1e6;
+  config.autoscale.high_watermark = 6.0;
+  config.autoscale.low_watermark = 1.0;
+  config.autoscale.hysteresis_ticks = 3;
+  config.autoscale.min_replicas = 1;
+  config.autoscale.max_replicas = 4;
+
+  const serve::cluster_plan plan = serve::plan_cluster(config, stamps, ids);
+  expect_exactly_once_coverage(plan, stamps.size());
+  EXPECT_EQ(plan.slots, 4);
+  EXPECT_GT(plan.peak_live, 1) << "the burst should trigger a scale-up";
+
+  bool any_up = false;
+  bool any_down = false;
+  std::int64_t direction_changes = 0;
+  for (std::size_t i = 0; i < plan.scales.size(); ++i) {
+    const serve::scale_decision& d = plan.scales[i];
+    (d.up ? any_up : any_down) = true;
+    EXPECT_GE(d.live_after, config.autoscale.min_replicas);
+    EXPECT_LE(d.live_after, config.autoscale.max_replicas);
+    if (i > 0) {
+      if (plan.scales[i - 1].up != d.up) ++direction_changes;
+      // Streaks rebuild from zero after every action: consecutive decisions
+      // are at least hysteresis_ticks ticks apart — the no-flapping bound.
+      EXPECT_GE(d.at_ns - plan.scales[i - 1].at_ns,
+                static_cast<double>(config.autoscale.hysteresis_ticks) *
+                    config.autoscale.tick_ns);
+    }
+  }
+  EXPECT_TRUE(any_up);
+  EXPECT_TRUE(any_down);
+  // A two-burst square wave yields at most grow/shrink/grow/shrink phases —
+  // three direction changes. Flapping would alternate far more often.
+  EXPECT_LE(direction_changes, 3);
+}
+
+// ---- execution -------------------------------------------------------------
+
+class ClusterTest : public ::testing::Test {
+protected:
+  ClusterTest() : model_{tiny_vit_config()} {}
+
+  models::vit_model model_;
+};
+
+TEST_F(ClusterTest, PooledAndSerialRunsAreByteIdentical) {
+  const std::vector<double> stamps = serve::make_poisson_arrivals(48, 5e5, 19);
+  const std::vector<serve::classify_request> reqs = make_requests(48, stamps);
+  serve::cluster_config config = base_config(3, serve::router_policy::power_of_two);
+  config.chaos.push_back({stamps[24], 2, true});
+  config.chaos.push_back({stamps[24] + 1.5e7, 2, false});
+
+  serve::model_backend backend{model_};
+  serve::cluster fleet{backend, config};
+  ASSERT_GE(parallel_thread_count(), 2) << "pooled run would not cross threads";
+  const serve::cluster_report pooled = fleet.run(reqs);
+  serve::cluster_report serial;
+  {
+    serial_guard guard;  // every replica task runs inline on this thread
+    serial = fleet.run(reqs);
+  }
+  expect_cluster_reports_identical(pooled, serial);
+}
+
+TEST_F(ClusterTest, EveryLogitsRowMatchesTheSingleServerBitwise) {
+  const std::vector<double> stamps = serve::make_poisson_arrivals(40, 6e5, 29);
+  const std::vector<serve::classify_request> reqs = make_requests(40, stamps);
+  serve::cluster_config config = base_config(3, serve::router_policy::least_loaded);
+
+  serve::model_backend backend{model_};
+  serve::cluster fleet{backend, config};
+  const serve::cluster_report fleet_report = fleet.run(reqs);
+
+  serve::model_backend single_backend{model_};
+  tee::enclave enclave;
+  serve::server single{single_backend, enclave, config.server};
+  const serve::serving_report single_report = single.run(reqs);
+
+  ASSERT_EQ(fleet_report.results.size(), single_report.results.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const serve::classify_result& f = fleet_report.results[i];
+    const serve::classify_result& s = single_report.results[i];
+    EXPECT_EQ(f.request_id, s.request_id);
+    EXPECT_EQ(f.predicted, s.predicted) << "request " << i;
+    ASSERT_TRUE(bits_equal(f.logits, s.logits))
+        << "cluster logits diverged from the single server for request " << i;
+  }
+}
+
+TEST_F(ClusterTest, ChaosRunServesEveryRequestExactlyOnce) {
+  const std::vector<double> stamps = serve::make_poisson_arrivals(60, 4e5, 37);
+  const std::vector<serve::classify_request> reqs = make_requests(60, stamps);
+  serve::cluster_config config = base_config(3);
+  config.chaos.push_back({stamps[30], 0, true});
+  config.chaos.push_back({stamps[30] + 2e7, 0, false});
+
+  serve::model_backend backend{model_};
+  serve::cluster fleet{backend, config};
+  const serve::cluster_report report = fleet.run(reqs);
+  EXPECT_GT(report.plan.requeued, 0);
+
+  // Result rows: every request answered under its own id, none defaulted.
+  ASSERT_EQ(report.results.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    EXPECT_EQ(report.results[i].request_id, reqs[i].id) << "row " << i;
+
+  // Executed batches: each id exactly once across all replicas.
+  std::map<std::int64_t, int> seen;
+  for (const serve::replica_report& rep : report.replicas)
+    for (const serve::batch_record& b : rep.batches)
+      for (std::int64_t id : b.request_ids) ++seen[id];
+  ASSERT_EQ(seen.size(), reqs.size());
+  for (const serve::classify_request& r : reqs)
+    EXPECT_EQ(seen[r.id], 1) << "request id " << r.id;
+
+  // Replica totals commit in slot order and add up.
+  std::int64_t total = 0;
+  for (const serve::replica_report& rep : report.replicas) total += rep.requests;
+  EXPECT_EQ(total, static_cast<std::int64_t>(reqs.size()));
+}
+
+}  // namespace
+}  // namespace pelta

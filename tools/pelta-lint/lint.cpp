@@ -343,6 +343,13 @@ bool r2_applies(const std::string& p) {
 bool r3_applies(const std::string& p) {
   return starts_with(p, "src/") && p != "src/tensor/rng.h";
 }
+// core/simclock is the one file allowed to NAME time (`now`, `clock`):
+// it owns the simulated-clock vocabulary the way rng.h owns entropy.
+// It is NOT exempt from the wall-clock API bans — the simulated clock is
+// pure arithmetic over stamps and never consults the host's time.
+bool r3_simclock(const std::string& p) {
+  return p == "src/core/simclock.h" || p == "src/core/simclock.cpp";
+}
 bool r4_applies(const std::string& p) {
   return starts_with(p, "src/") && p != "src/tensor/parallel.h" &&
          p != "src/tensor/parallel.cpp";
@@ -493,6 +500,29 @@ file_report lint_source(const std::string& rel_path, const std::string& content,
               std::string(fn) + "() in src/ — unseeded libc RNG breaks replayability; "
               "use the rng core (src/tensor/rng.h)");
       }
+    }
+    // Wall-clock and sleep APIs are banned in EVERY R3 file — core/simclock
+    // included: the simulated clock is pure arithmetic over stamps, so even
+    // its implementation has no business consulting the host's time.
+    for (const char* api : {"chrono", "clock_gettime", "gettimeofday", "timespec_get",
+                            "nanosleep", "usleep"})
+      for (std::size_t pos : find_word(s, api))
+        add(pos, "R3",
+            std::string(api) +
+                " in src/ — wall-clock/sleep APIs never belong in the library; "
+                "everything runs on the simulated clock (core/simclock.h)");
+    // Time vocabulary: core/simclock is the one place allowed to name time.
+    // Everyone else speaks in explicit stamps (submit_ns, at_ns, close_ns)
+    // and routes ordering through core::event_queue, so a bare `now` or
+    // `clock` identifier elsewhere is either a wall-clock habit leaking in
+    // or a private event loop growing back.
+    if (!r3_simclock(path)) {
+      for (const char* word : {"now", "clock"})
+        for (std::size_t pos : find_word(s, word))
+          add(pos, "R3",
+              std::string("`") + word +
+                  "` in src/ — time vocabulary lives in core/simclock only; name "
+                  "stamps explicitly (at_ns, submit_ns, ...) elsewhere");
     }
   }
 
